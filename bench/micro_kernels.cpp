@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) of the library's primitives: the DP
+// kernels (full / static / adaptive / KSW2-like), 2-bit packing, and the
+// simulated DPU kernel end-to-end. These are not paper tables — they are
+// the performance regression harness for the library itself.
+#include <benchmark/benchmark.h>
+
+#include "align/banded_adaptive.hpp"
+#include "align/banded_static.hpp"
+#include "align/edit_distance.hpp"
+#include "align/wfa.hpp"
+#include "align/nw_full.hpp"
+#include "baseline/ksw2_like.hpp"
+#include "core/host.hpp"
+#include "data/mutate.hpp"
+#include "dna/packed_sequence.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pimnw;
+
+std::pair<std::string, std::string> make_pair_of(std::size_t length,
+                                                 double error_rate) {
+  Xoshiro256 rng(0xBEEF + length);
+  std::string a = data::random_dna(length, rng);
+  data::ErrorModel errors;
+  errors.error_rate = error_rate;
+  std::string b = data::mutate(a, errors, rng);
+  return {std::move(a), std::move(b)};
+}
+
+void BM_NwFull(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(static_cast<std::size_t>(state.range(0)),
+                                   0.05);
+  align::NwFullOptions options;
+  options.traceback = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::nw_full(a, b, align::default_scoring(), options).score);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() * b.size()));
+}
+BENCHMARK(BM_NwFull)->Arg(500)->Arg(2000);
+
+void BM_BandedStatic(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(4000, 0.05);
+  align::BandedStaticOptions options;
+  options.band_width = state.range(0);
+  options.traceback = true;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = align::banded_static(a, b, align::default_scoring(),
+                                        options);
+    benchmark::DoNotOptimize(r.score);
+    cells = r.cells;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_BandedStatic)->Arg(128)->Arg(512);
+
+void BM_BandedAdaptive(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(4000, 0.05);
+  align::BandedAdaptiveOptions options;
+  options.band_width = state.range(0);
+  options.traceback = true;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = align::banded_adaptive(a, b, align::default_scoring(),
+                                          options);
+    benchmark::DoNotOptimize(r.score);
+    cells = r.cells;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_BandedAdaptive)->Arg(128)->Arg(512);
+
+void BM_Ksw2Like(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(4000, 0.05);
+  baseline::Ksw2Options options;
+  options.band_width = state.range(0);
+  options.traceback = true;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r =
+        baseline::ksw2_align(a, b, align::default_scoring(), options);
+    benchmark::DoNotOptimize(r.score);
+    cells = r.cells;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_Ksw2Like)->Arg(128)->Arg(512);
+
+void BM_Pack2Bit(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const std::string seq = data::random_dna(1 << 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dna::PackedSequence::pack(seq).bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_Pack2Bit);
+
+void BM_WfaScore(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(4000,
+                                   static_cast<double>(state.range(0)) / 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        align::wfa_score(a, b, align::default_scoring()));
+  }
+}
+BENCHMARK(BM_WfaScore)->Arg(2)->Arg(10);  // 2% and 10% divergence
+
+void BM_EditDistanceBounded(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(4000, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::edit_distance_bounded(a, b, 600));
+  }
+}
+BENCHMARK(BM_EditDistanceBounded);
+
+void BM_DpuKernelSinglePair(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(2000, 0.05);
+  core::PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 128;
+  std::vector<core::PairInput> pairs = {{a, b}};
+  for (auto _ : state) {
+    core::PimAligner aligner(config);
+    std::vector<core::PairOutput> out;
+    (void)aligner.align_pairs(pairs, &out);
+    benchmark::DoNotOptimize(out[0].score);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>((a.size() + b.size()) * 128));
+}
+BENCHMARK(BM_DpuKernelSinglePair);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Table 2 reproduction: runtime on the S1000 dataset at 100% accuracy.
+// minimap2-style CPU needs band 128, the adaptive DPU kernel band 128 too —
+// same work on both sides, so the PiM win comes purely from parallelism.
+#include "common/bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimnw;
+  Cli cli("table2_s1000", "Table 2: S1000 runtime, CPU vs DPU ranks");
+  bench::add_common_flags(cli);
+  cli.flag("pairs", std::int64_t{400}, "scaled pair count (paper: 10M)");
+  cli.parse(argc, argv);
+
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(cli.get_int("pairs")) * cli.get_double("scale"));
+  const data::PairDataset dataset = data::generate_synthetic(
+      data::s1000_config(count, static_cast<std::uint64_t>(cli.get_int("seed"))));
+
+  bench::RuntimeTableSpec spec;
+  spec.title = "Table 2 — S1000 (1 kb reads), 100% accuracy";
+  spec.klass = baseline::DatasetClass::kS1000;
+  spec.paper_pairs = 10'000'000;
+  spec.cpu_band = 128;
+  spec.dpu_band = 128;
+  spec.paper_4215 = 294;
+  spec.paper_4216 = 242;
+  spec.paper_dpu10 = 560;
+  spec.paper_dpu20 = 283;
+  spec.paper_dpu40 = 146;
+  bench::run_runtime_table(spec, dataset.pairs);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 3 reproduction: runtime on the S10000 dataset at 100% accuracy.
+// The CPU's static band must double to 256 to stay optimal while the
+// adaptive DPU band stays at 128 — the CPU computes 2x the cells.
+#include "common/bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimnw;
+  Cli cli("table3_s10000", "Table 3: S10000 runtime, CPU vs DPU ranks");
+  bench::add_common_flags(cli);
+  cli.flag("pairs", std::int64_t{60}, "scaled pair count (paper: 1M)");
+  cli.parse(argc, argv);
+
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(cli.get_int("pairs")) * cli.get_double("scale"));
+  const data::PairDataset dataset = data::generate_synthetic(
+      data::s10000_config(count,
+                          static_cast<std::uint64_t>(cli.get_int("seed"))));
+
+  bench::RuntimeTableSpec spec;
+  spec.title = "Table 3 — S10000 (10 kb reads), 100% accuracy";
+  spec.klass = baseline::DatasetClass::kS10000;
+  spec.paper_pairs = 1'000'000;
+  spec.cpu_band = 256;
+  spec.dpu_band = 128;
+  spec.paper_4215 = 744;
+  spec.paper_4216 = 369;
+  spec.paper_dpu10 = 502;
+  spec.paper_dpu20 = 255;
+  spec.paper_dpu40 = 132;
+  bench::run_runtime_table(spec, dataset.pairs);
+  return 0;
+}

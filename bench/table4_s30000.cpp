@@ -1,0 +1,34 @@
+// Table 4 reproduction: runtime on the S30000 dataset at 100% accuracy.
+// The CPU's static band is 512 (4x the DPU's adaptive 128) — long reads are
+// where the adaptive heuristic pays off most (DPU 40 ranks ~8x the 4215).
+#include "common/bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimnw;
+  Cli cli("table4_s30000", "Table 4: S30000 runtime, CPU vs DPU ranks");
+  bench::add_common_flags(cli);
+  cli.flag("pairs", std::int64_t{24}, "scaled pair count (paper: 500k)");
+  cli.parse(argc, argv);
+
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(cli.get_int("pairs")) * cli.get_double("scale"));
+  const data::PairDataset dataset = data::generate_synthetic(
+      data::s30000_config(count,
+                          static_cast<std::uint64_t>(cli.get_int("seed"))));
+
+  bench::RuntimeTableSpec spec;
+  spec.title = "Table 4 — S30000 (30 kb reads), 100% accuracy";
+  spec.klass = baseline::DatasetClass::kS30000;
+  spec.paper_pairs = 500'000;
+  spec.cpu_band = 512;
+  spec.dpu_band = 128;
+  spec.paper_4215 = 1650;
+  spec.paper_4216 = 1265;
+  spec.paper_dpu10 = 755;
+  spec.paper_dpu20 = 391;
+  spec.paper_dpu40 = 200;
+  bench::run_runtime_table(spec, dataset.pairs);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Algorithm showcase: why the paper picks the *adaptive* band for the DPU.
+// Builds a pair whose optimal path drifts off the main diagonal (structural
+// deletions), then compares full DP, static bands and adaptive bands of
+// several widths — printing score, DP cells and whether each found the
+// optimum. The adaptive band reaches the optimum with a fraction of the
+// cells (paper §3.3–3.4, Table 1).
+#include <iostream>
+
+#include "align/banded_adaptive.hpp"
+#include "align/banded_static.hpp"
+#include "align/nw_full.hpp"
+#include "data/mutate.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimnw;
+  Cli cli("adaptive_vs_static",
+          "compare banded heuristics on a drifting alignment");
+  cli.flag("length", std::int64_t{3000}, "read length");
+  cli.flag("gaps", std::int64_t{10}, "number of 20-base deletions");
+  cli.flag("seed", std::int64_t{3}, "generator seed");
+  cli.parse(argc, argv);
+
+  Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const std::string b = data::random_dna(
+      static_cast<std::size_t>(cli.get_int("length")), rng);
+  std::string a = b;
+  const std::size_t gaps = static_cast<std::size_t>(cli.get_int("gaps"));
+  const std::size_t spacing = b.size() / (gaps + 1);
+  for (std::size_t g = gaps; g >= 1; --g) {
+    a.erase(spacing * g, 20);
+  }
+  // Add sequencing noise on top of the structural gaps.
+  data::ErrorModel noise;
+  noise.error_rate = 0.03;
+  a = data::mutate(a, noise, rng);
+
+  const align::Scoring scoring = align::default_scoring();
+  const align::AlignResult full = align::nw_full(
+      a, b, scoring, {.traceback = false});
+
+  TextTable table("adaptive vs static band on a drifting alignment");
+  table.header({"method", "band", "score", "optimal?", "DP cells",
+                "vs full DP"});
+  auto add_row = [&](const std::string& method, const std::string& band,
+                     const align::AlignResult& r) {
+    table.row({method, band,
+               r.reached_end ? std::to_string(r.score) : "(unreachable)",
+               r.reached_end && r.score == full.score ? "yes" : "NO",
+               fmt_count(r.cells),
+               fmt_percent(static_cast<double>(r.cells) /
+                           static_cast<double>(full.cells))});
+  };
+
+  add_row("full DP", "-", full);
+  for (std::int64_t w : {64, 128, 256, 512}) {
+    add_row("static", std::to_string(w),
+            align::banded_static(a, b, scoring,
+                                 {.band_width = w, .traceback = false}));
+  }
+  for (std::int64_t w : {64, 128}) {
+    add_row("adaptive", std::to_string(w),
+            align::banded_adaptive(a, b, scoring,
+                                   {.band_width = w, .traceback = false}));
+  }
+  table.print();
+
+  std::cout << "\nThe " << gaps << " structural deletions push the optimal "
+            << "path " << gaps * 20 << " cells off the main diagonal: static "
+            << "bands must cover that whole drift, the adaptive window just "
+            << "follows it (paper Fig. 3).\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// dpu_hello — the UPMEM substrate without the alignment stack: write your
+// own DPU kernel against the simulator through the SDK-style facade.
+//
+// The kernel below is the PiM "hello world": each DPU sums an array of
+// uint64 it finds in its MRAM, using all tasklets (a parallel reduction
+// with one partial sum per tasklet), and writes the result back. The host
+// side allocates ranks, scatters per-DPU data, launches, and gathers — the
+// same four-step loop as the paper's host program (§4.1).
+#include <cstring>
+#include <iostream>
+#include <numeric>
+
+#include "upmem/host_api.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pimnw;
+
+constexpr std::uint64_t kCountOffset = 0;
+constexpr std::uint64_t kDataOffset = 8;
+constexpr std::uint64_t kResultOffset = 1 << 20;
+
+/// The DPU program: parallel sum over the MRAM array.
+class SumKernel : public upmem::DpuProgram {
+ public:
+  explicit SumKernel(int tasklets) : tasklets_(tasklets) {}
+
+  void run(upmem::DpuContext& ctx) override {
+    upmem::PoolCost& pool = ctx.cost.pool(0);
+
+    // Read the element count.
+    const std::uint64_t header = ctx.wram.alloc(8);
+    ctx.mram_read(kCountOffset, header, 8);
+    pool.dma(8);
+    std::uint64_t count;
+    std::memcpy(&count, ctx.wram.raw(header, 8), 8);
+    pool.serial(20);  // bootstrap arithmetic
+
+    // Stream the array through a WRAM tile, accumulating. Each chunk's
+    // additions are split across the tasklets (balanced_step).
+    constexpr std::uint64_t kTileElems = 256;  // 2 KB tile = one DMA
+    const std::uint64_t tile = ctx.wram.alloc(kTileElems * 8);
+    std::uint64_t sum = 0;
+    for (std::uint64_t done = 0; done < count; done += kTileElems) {
+      const std::uint64_t elems = std::min(kTileElems, count - done);
+      const std::uint64_t bytes = ((elems * 8 + 7) / 8) * 8;
+      ctx.mram_read(kDataOffset + done * 8, tile, bytes);
+      pool.dma(bytes);
+      const auto view = ctx.wram.view<std::uint64_t>(tile, elems);
+      for (std::uint64_t v : view) sum += v;
+      pool.balanced_step(elems * 3, tasklets_);  // load+add+loop per element
+    }
+
+    // Write the result.
+    std::memcpy(ctx.wram.raw(header, 8), &sum, 8);
+    ctx.mram_write(header, kResultOffset, 8);
+    pool.dma(8);
+  }
+
+ private:
+  int tasklets_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("dpu_hello", "parallel sum on simulated DPUs via the SDK facade");
+  cli.flag("ranks", std::int64_t{1}, "ranks to allocate");
+  cli.flag("elems", std::int64_t{100'000}, "uint64 elements per DPU");
+  cli.flag("tasklets", std::int64_t{16}, "tasklets per DPU");
+  cli.parse(argc, argv);
+
+  const int ranks = static_cast<int>(cli.get_int("ranks"));
+  const auto elems = static_cast<std::uint64_t>(cli.get_int("elems"));
+  const int tasklets = static_cast<int>(cli.get_int("tasklets"));
+
+  upmem::DpuSet set = upmem::DpuSet::allocate_ranks(ranks);
+  std::cout << "allocated " << set.nr_dpus() << " DPUs in " << ranks
+            << " rank(s)\n";
+
+  // Scatter: every DPU gets its own random array (count header + payload).
+  Xoshiro256 rng(1);
+  std::vector<std::vector<std::uint8_t>> buffers(
+      static_cast<std::size_t>(set.nr_dpus()));
+  std::vector<std::uint64_t> expected(buffers.size(), 0);
+  for (std::size_t d = 0; d < buffers.size(); ++d) {
+    buffers[d].resize(8 + elems * 8);
+    std::memcpy(buffers[d].data(), &elems, 8);
+    for (std::uint64_t e = 0; e < elems; ++e) {
+      const std::uint64_t v = rng.below(1000);
+      std::memcpy(buffers[d].data() + 8 + e * 8, &v, 8);
+      expected[d] += v;
+    }
+  }
+  const auto in = set.copy_to(kCountOffset, buffers);
+
+  // Launch synchronously on all ranks.
+  const auto exec = set.exec(
+      [&](int, int) { return std::make_unique<SumKernel>(tasklets); },
+      /*pools=*/1, tasklets);
+
+  // Gather and check.
+  std::vector<std::uint64_t> sizes(buffers.size(), 8);
+  std::vector<std::vector<std::uint8_t>> results;
+  const auto out = set.copy_from(kResultOffset, sizes, results);
+  std::size_t correct = 0;
+  for (std::size_t d = 0; d < results.size(); ++d) {
+    std::uint64_t sum;
+    std::memcpy(&sum, results[d].data(), 8);
+    if (sum == expected[d]) ++correct;
+  }
+
+  const auto& rank0 = exec.per_rank.front();
+  std::cout << correct << "/" << results.size() << " DPU sums correct\n"
+            << "modeled: scatter " << in.seconds * 1e3 << " ms, exec "
+            << exec.seconds * 1e3 << " ms, gather " << out.seconds * 1e6
+            << " us\n"
+            << "pipeline utilisation "
+            << rank0.mean_pipeline_utilization * 100 << "%, MRAM overhead "
+            << rank0.mean_mram_overhead * 100
+            << "% — a 3-instruction/element sum is DMA-bound, unlike the "
+               "alignment kernel (~45 instr/cell); compare --tasklets 16 "
+               "vs 8 for the 11-slot pipeline re-entry effect (§2.1)\n";
+  return correct == results.size() ? 0 : 1;
+}

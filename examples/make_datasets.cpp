@@ -1,0 +1,104 @@
+// make_datasets — materialise the five evaluation datasets as FASTA files,
+// so experiments can be replayed, inspected, or swapped for real data (the
+// benches generate in-memory by default; align_fasta consumes these files).
+//
+//   $ ./make_datasets --out /tmp/pimnw-data
+// writes:
+//   s1000_a.fa / s1000_b.fa      record i of _a aligns to record i of _b
+//   s10000_a.fa / s10000_b.fa
+//   s30000_a.fa / s30000_b.fa
+//   16s.fa                       all-against-all set
+//   pacbio_setN.fa               one file per read set
+#include <filesystem>
+#include <iostream>
+
+#include "data/pacbio.hpp"
+#include "data/phylo16s.hpp"
+#include "data/synthetic.hpp"
+#include "dna/fasta.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace pimnw;
+
+void write_pairs(const std::string& dir, const std::string& name,
+                 const data::PairDataset& dataset) {
+  std::vector<dna::FastaRecord> a;
+  std::vector<dna::FastaRecord> b;
+  for (std::size_t p = 0; p < dataset.pairs.size(); ++p) {
+    a.push_back({name + "_" + std::to_string(p), "query", dataset.pairs[p].first});
+    b.push_back({name + "_" + std::to_string(p), "target", dataset.pairs[p].second});
+  }
+  dna::write_fasta_file(dir + "/" + name + "_a.fa", a);
+  dna::write_fasta_file(dir + "/" + name + "_b.fa", b);
+  std::cout << name << ": " << dataset.pairs.size() << " pairs, "
+            << dataset.total_bases() << " bases\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("make_datasets", "write the evaluation datasets as FASTA");
+  cli.flag("out", std::string("pimnw-data"), "output directory");
+  cli.flag("seed", std::int64_t{1}, "generator seed");
+  cli.flag("s1000-pairs", std::int64_t{100}, "S1000 pair count");
+  cli.flag("s10000-pairs", std::int64_t{20}, "S10000 pair count");
+  cli.flag("s30000-pairs", std::int64_t{8}, "S30000 pair count");
+  cli.flag("species", std::int64_t{48}, "16S species count");
+  cli.flag("sets", std::int64_t{4}, "PacBio set count");
+  cli.parse(argc, argv);
+
+  const std::string dir = cli.get_string("out");
+  std::filesystem::create_directories(dir);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  write_pairs(dir, "s1000",
+              data::generate_synthetic(data::s1000_config(
+                  static_cast<std::size_t>(cli.get_int("s1000-pairs")), seed)));
+  write_pairs(dir, "s10000",
+              data::generate_synthetic(data::s10000_config(
+                  static_cast<std::size_t>(cli.get_int("s10000-pairs")),
+                  seed + 1)));
+  write_pairs(dir, "s30000",
+              data::generate_synthetic(data::s30000_config(
+                  static_cast<std::size_t>(cli.get_int("s30000-pairs")),
+                  seed + 2)));
+
+  {
+    data::Phylo16sConfig config;
+    config.species = static_cast<std::size_t>(cli.get_int("species"));
+    config.seed = seed + 3;
+    const auto seqs = data::generate_16s(config);
+    std::vector<dna::FastaRecord> records;
+    for (std::size_t s = 0; s < seqs.size(); ++s) {
+      records.push_back({"sp" + std::to_string(s), "16S-like", seqs[s]});
+    }
+    dna::write_fasta_file(dir + "/16s.fa", records);
+    std::cout << "16s: " << seqs.size() << " sequences\n";
+  }
+  {
+    data::PacbioConfig config;
+    config.set_count = static_cast<std::size_t>(cli.get_int("sets"));
+    config.reads_min = 6;
+    config.reads_max = 10;
+    config.seed = seed + 4;
+    const auto dataset = data::generate_pacbio(config);
+    for (std::size_t s = 0; s < dataset.sets.size(); ++s) {
+      std::vector<dna::FastaRecord> records;
+      for (std::size_t r = 0; r < dataset.sets[s].size(); ++r) {
+        records.push_back({"set" + std::to_string(s) + "_read" +
+                               std::to_string(r),
+                           "pacbio-like", dataset.sets[s][r]});
+      }
+      dna::write_fasta_file(
+          dir + "/pacbio_set" + std::to_string(s) + ".fa", records);
+    }
+    std::cout << "pacbio: " << dataset.sets.size() << " sets, "
+              << dataset.total_pairs() << " pairs\n";
+  }
+  std::cout << "wrote " << dir << "/\n"
+            << "try: align_fasta --queries " << dir
+            << "/s1000_a.fa --targets " << dir << "/s1000_b.fa\n";
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "align/banded_adaptive.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/adaptive_steering.hpp"
+#include "align/bt_code.hpp"
+#include "align/traceback.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::align {
+
+AlignResult banded_adaptive(std::string_view a, std::string_view b,
+                            const Scoring& scoring,
+                            const BandedAdaptiveOptions& options) {
+  const std::int64_t m = static_cast<std::int64_t>(a.size());
+  const std::int64_t n = static_cast<std::int64_t>(b.size());
+  const std::int64_t w = options.band_width;
+  PIMNW_CHECK_MSG(w >= 2, "adaptive band width must be >= 2");
+
+  AlignResult result;
+  const std::size_t width = static_cast<std::size_t>(w);
+
+  // Four rolling anti-diagonal arrays (paper §4.2.1): H on s-1 and s-2, and
+  // I, D on s-1 — exactly what the DPU keeps in WRAM.
+  std::vector<Score> h1(width, kNegInf), h2(width, kNegInf);
+  std::vector<Score> i1(width, kNegInf), d1(width, kNegInf);
+  std::vector<Score> h0(width, kNegInf), i0(width, kNegInf), d0(width, kNegInf);
+
+  // BT rows for every anti-diagonal plus the origin row of the window there.
+  const std::int64_t diag_count = m + n + 1;
+  std::vector<std::uint8_t> bt_store_vec;
+  if (options.traceback) {
+    bt_store_vec.assign(
+        bt_bytes(static_cast<std::uint64_t>(diag_count) * width), 0);
+  }
+  std::vector<std::int64_t> lo_of(static_cast<std::size_t>(diag_count), 0);
+
+  if (options.trace != nullptr) {
+    options.trace->window_origin.clear();
+    options.trace->window_origin.reserve(static_cast<std::size_t>(diag_count));
+    options.trace->down_moves = 0;
+    options.trace->right_moves = 0;
+  }
+
+  const Score open_ext = scoring.gap_open + scoring.gap_extend;
+  std::uint64_t cells = 0;
+
+  std::int64_t lo = 0;       // window origin on the current anti-diagonal
+  std::int64_t lo1 = 0;      // origin on s-1
+  std::int64_t lo2 = 0;      // origin on s-2
+
+  for (std::int64_t s = 0; s <= m + n; ++s) {
+    lo_of[static_cast<std::size_t>(s)] = lo;
+    if (options.trace != nullptr) options.trace->window_origin.push_back(lo);
+
+    std::fill(h0.begin(), h0.end(), kNegInf);
+    std::fill(i0.begin(), i0.end(), kNegInf);
+    std::fill(d0.begin(), d0.end(), kNegInf);
+
+    const std::int64_t i_min = std::max<std::int64_t>(lo, std::max<std::int64_t>(0, s - n));
+    const std::int64_t i_max = std::min<std::int64_t>(lo + w - 1, std::min<std::int64_t>(m, s));
+
+    for (std::int64_t i = i_min; i <= i_max; ++i) {
+      const std::int64_t j = s - i;
+      const std::size_t k = static_cast<std::size_t>(i - lo);
+      if (i == 0 && j == 0) {
+        h0[k] = 0;
+        continue;
+      }
+      if (i == 0) {  // top boundary: H(0,j) = D(0,j), I = -inf
+        const Score boundary = -scoring.gap_cost(static_cast<std::uint64_t>(j));
+        h0[k] = boundary;
+        d0[k] = boundary;
+        continue;
+      }
+      if (j == 0) {  // left boundary: H(i,0) = I(i,0), D = -inf
+        const Score boundary = -scoring.gap_cost(static_cast<std::uint64_t>(i));
+        h0[k] = boundary;
+        i0[k] = boundary;
+        continue;
+      }
+      ++cells;
+
+      // Offsets of the neighbours in the rolling arrays.
+      const std::int64_t k_up = (i - 1) - lo1;    // (i-1, j)   on s-1
+      const std::int64_t k_left = i - lo1;        // (i,   j-1) on s-1
+      const std::int64_t k_diag = (i - 1) - lo2;  // (i-1, j-1) on s-2
+
+      const Score h_up =
+          (k_up >= 0 && k_up < w) ? h1[static_cast<std::size_t>(k_up)] : kNegInf;
+      const Score i_up =
+          (k_up >= 0 && k_up < w) ? i1[static_cast<std::size_t>(k_up)] : kNegInf;
+      const Score h_left = (k_left >= 0 && k_left < w)
+                               ? h1[static_cast<std::size_t>(k_left)]
+                               : kNegInf;
+      const Score d_left = (k_left >= 0 && k_left < w)
+                               ? d1[static_cast<std::size_t>(k_left)]
+                               : kNegInf;
+      const Score h_diag_prev = (k_diag >= 0 && k_diag < w)
+                                    ? h2[static_cast<std::size_t>(k_diag)]
+                                    : kNegInf;
+
+      const bool equal = a[static_cast<std::size_t>(i - 1)] ==
+                         b[static_cast<std::size_t>(j - 1)];
+
+      const Score i_ext = i_up - scoring.gap_extend;
+      const Score i_opn = h_up - open_ext;
+      const bool i_open = i_opn >= i_ext;
+      const Score iv = i_open ? i_opn : i_ext;
+
+      const Score d_ext = d_left - scoring.gap_extend;
+      const Score d_opn = h_left - open_ext;
+      const bool d_open = d_opn >= d_ext;
+      const Score dv = d_open ? d_opn : d_ext;
+
+      const Score h_diag = h_diag_prev + scoring.sub(equal);
+      Score h;
+      std::uint8_t origin;
+      if (h_diag >= iv && h_diag >= dv) {
+        h = h_diag;
+        origin = equal ? bt::kOriginDiagMatch : bt::kOriginDiagMismatch;
+      } else if (iv >= dv) {
+        h = iv;
+        origin = bt::kOriginI;
+      } else {
+        h = dv;
+        origin = bt::kOriginD;
+      }
+
+      h0[k] = h;
+      i0[k] = iv;
+      d0[k] = dv;
+      if (options.traceback) {
+        bt_store(bt_store_vec.data(),
+                 static_cast<std::uint64_t>(s) * width + k,
+                 bt::make(origin, i_open, d_open));
+      }
+    }
+
+    if (s == m + n) break;
+
+    // Window steering: compare the two extremities actually computed.
+    const Score top_score =
+        i_min <= i_max ? h0[static_cast<std::size_t>(i_min - lo)] : kNegInf;
+    const Score bottom_score =
+        i_min <= i_max ? h0[static_cast<std::size_t>(i_max - lo)] : kNegInf;
+    const bool down =
+        adaptive_move_down(lo, s, m, n, w, top_score, bottom_score);
+    if (options.trace != nullptr) {
+      if (down) {
+        ++options.trace->down_moves;
+      } else {
+        ++options.trace->right_moves;
+      }
+    }
+
+    // Rotate the rolling arrays: s-1 becomes s-2, s becomes s-1.
+    std::swap(h2, h1);
+    std::swap(h1, h0);
+    std::swap(i1, i0);
+    std::swap(d1, d0);
+    lo2 = lo1;
+    lo1 = lo;
+    lo += down ? 1 : 0;
+  }
+
+  result.cells = cells;
+  const std::int64_t k_final = m - lo;
+  if (k_final < 0 || k_final >= w) {
+    return result;  // window never reached the corner (cannot happen with the
+                    // forced moves, but kept as a safety net)
+  }
+  const Score final_score = h0[static_cast<std::size_t>(k_final)];
+  if (final_score <= kNegInf / 2) {
+    return result;  // corner unreachable inside the moving window
+  }
+  result.score = final_score;
+  result.reached_end = true;
+
+  if (options.traceback) {
+    result.cigar = traceback_affine(
+        m, n, [&](std::int64_t i, std::int64_t j) -> std::uint8_t {
+          const std::int64_t s = i + j;
+          const std::int64_t k = i - lo_of[static_cast<std::size_t>(s)];
+          PIMNW_DCHECK(k >= 0 && k < w);
+          return bt_load(bt_store_vec.data(),
+                         static_cast<std::uint64_t>(s) * width +
+                             static_cast<std::uint64_t>(k));
+        });
+  }
+  return result;
+}
+
+}  // namespace pimnw::align

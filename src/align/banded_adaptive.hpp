@@ -1,0 +1,39 @@
+// Adaptive banded Needleman–Wunsch with affine gaps (paper §3.4, after
+// Suzuki & Kasahara): the algorithm the DPU kernel implements.
+//
+// The band is a window of `w` consecutive rows evaluated on each
+// anti-diagonal. It starts at the top-left corner and, after every
+// anti-diagonal, shifts either *down* (origin row +1) or *right* (origin row
+// unchanged) depending on which extremity of the window carries the higher
+// score — so the window follows the most likely path instead of assuming it
+// hugs the main diagonal. Complexity is O(w·(m+n)) like the static band, but
+// a much smaller w achieves the same accuracy on drifting alignments.
+//
+// This host implementation is the executable specification for the DPU
+// kernel in src/core/: identical recurrences, tie-breaking, window steering
+// and BT encoding — the kernel's results are required (and tested) to be
+// bit-identical to it.
+#pragma once
+
+#include <string_view>
+
+#include "align/result.hpp"
+
+namespace pimnw::align {
+
+struct BandedAdaptiveOptions {
+  /// Window width w (number of rows evaluated per anti-diagonal).
+  std::int64_t band_width = 128;
+  bool traceback = true;
+  /// When non-null, receives the window origin per anti-diagonal and the
+  /// down/right move counts (Fig. 3 reproduction).
+  BandTrace* trace = nullptr;
+};
+
+/// Adaptive-banded global alignment. `reached_end` is false when no finite
+/// score connected (0,0) to (m,n) inside the moving window.
+AlignResult banded_adaptive(std::string_view a, std::string_view b,
+                            const Scoring& scoring,
+                            const BandedAdaptiveOptions& options = {});
+
+}  // namespace pimnw::align

@@ -1,0 +1,165 @@
+#include "align/banded_static.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/bt_code.hpp"
+#include "align/traceback.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::align {
+
+AlignResult banded_static(std::string_view a, std::string_view b,
+                          const Scoring& scoring,
+                          const BandedStaticOptions& options) {
+  const std::int64_t m = static_cast<std::int64_t>(a.size());
+  const std::int64_t n = static_cast<std::int64_t>(b.size());
+  const std::int64_t w = options.band_width;
+  PIMNW_CHECK_MSG(w >= 1, "band width must be >= 1");
+
+  AlignResult result;
+
+  // Band in diagonal coordinates: d = j - i in [d_lo, d_hi], width w.
+  const std::int64_t d_lo = -(w / 2);
+  const std::int64_t d_hi = d_lo + w - 1;
+
+  // The corner (m, n) sits on diagonal n - m; if that is outside the band the
+  // band can never contain a global path, as for a static-band tool whose
+  // band is too small for the length difference.
+  if (n - m < d_lo || n - m > d_hi) {
+    return result;  // reached_end == false
+  }
+
+  // Row i covers j in [max(0, i + d_lo), min(n, i + d_hi)], stored at offset
+  // k = j - i - d_lo in [0, w). Moving from row i-1 to i, the same j appears
+  // at offset k+1 of the previous row's arrays.
+  std::vector<Score> h_row(static_cast<std::size_t>(w), kNegInf);
+  std::vector<Score> i_row(static_cast<std::size_t>(w), kNegInf);
+
+  std::vector<std::uint8_t> bt;
+  if (options.traceback) {
+    bt.assign(bt_bytes(static_cast<std::uint64_t>(m) *
+                       static_cast<std::uint64_t>(w)),
+              0);
+  }
+
+  // Row 0: H(0, j) = D(0, j) = -gap_cost(j); I(0, j) = -inf.
+  {
+    const std::int64_t j_hi = std::min<std::int64_t>(n, d_hi);
+    for (std::int64_t j = std::max<std::int64_t>(0, d_lo); j <= j_hi; ++j) {
+      h_row[static_cast<std::size_t>(j - d_lo)] =
+          j == 0 ? 0 : -scoring.gap_cost(static_cast<std::uint64_t>(j));
+    }
+  }
+
+  const Score open_ext = scoring.gap_open + scoring.gap_extend;
+  std::uint64_t cells = 0;
+
+  for (std::int64_t i = 1; i <= m; ++i) {
+    const std::int64_t j_lo = std::max<std::int64_t>(0, i + d_lo);
+    const std::int64_t j_hi = std::min<std::int64_t>(n, i + d_hi);
+    if (j_lo > j_hi) return result;  // band left the matrix: unreachable
+
+    Score h_left = kNegInf;  // H(i, j-1), -inf when j-1 is out of band
+    Score d = kNegInf;       // D(i, j-1) carried along the row
+
+    // Process offsets left to right; read the previous row's values at k and
+    // k+1 *before* overwriting slot k.
+    for (std::int64_t j = j_lo; j <= j_hi; ++j) {
+      const std::int64_t k = j - i - d_lo;
+      if (j == 0) {
+        // Boundary column inside the band: H(i,0) = I(i,0) = -gap_cost(i).
+        const Score boundary = -scoring.gap_cost(static_cast<std::uint64_t>(i));
+        h_left = boundary;
+        d = kNegInf;
+        h_row[static_cast<std::size_t>(k)] = boundary;
+        i_row[static_cast<std::size_t>(k)] = boundary;
+        continue;
+      }
+      ++cells;
+
+      // Previous-row reads (offsets shift by +1 between rows).
+      const Score h_diag_prev = h_row[static_cast<std::size_t>(k)]; // H(i-1,j-1)
+      const Score h_up =
+          k + 1 < w ? h_row[static_cast<std::size_t>(k + 1)] : kNegInf;
+      const Score i_up =
+          k + 1 < w ? i_row[static_cast<std::size_t>(k + 1)] : kNegInf;
+      // When j-1 == 0 was *below* the band start of this row... it cannot be:
+      // j_lo is clamped at 0, so j-1 < j_lo only when j == j_lo, handled by
+      // h_left starting as -inf (or as the boundary value set above).
+
+      const bool equal = a[static_cast<std::size_t>(i - 1)] ==
+                         b[static_cast<std::size_t>(j - 1)];
+
+      const Score i_ext = i_up - scoring.gap_extend;
+      const Score i_opn = h_up - open_ext;
+      const bool i_open = i_opn >= i_ext;
+      const Score iv = i_open ? i_opn : i_ext;
+
+      const Score d_ext = d - scoring.gap_extend;
+      const Score d_opn = h_left - open_ext;
+      const bool d_open = d_opn >= d_ext;
+      d = d_open ? d_opn : d_ext;
+
+      // H(0, j-1) boundary for i == 1 is already in h_row via row 0 above;
+      // the diagonal for j == j_lo of row 1 reads it correctly.
+      const Score h_diag = h_diag_prev + scoring.sub(equal);
+      Score h;
+      std::uint8_t origin;
+      if (h_diag >= iv && h_diag >= d) {
+        h = h_diag;
+        origin = equal ? bt::kOriginDiagMatch : bt::kOriginDiagMismatch;
+      } else if (iv >= d) {
+        h = iv;
+        origin = bt::kOriginI;
+      } else {
+        h = d;
+        origin = bt::kOriginD;
+      }
+
+      if (options.traceback) {
+        bt_store(bt.data(),
+                 static_cast<std::uint64_t>(i - 1) *
+                         static_cast<std::uint64_t>(w) +
+                     static_cast<std::uint64_t>(k),
+                 bt::make(origin, i_open, d_open));
+      }
+
+      h_left = h;
+      h_row[static_cast<std::size_t>(k)] = h;
+      i_row[static_cast<std::size_t>(k)] = iv;
+    }
+    // Offsets outside [j_lo - i - d_lo, j_hi - i - d_lo] keep stale values
+    // from two rows back; poison them so the next row reads -inf.
+    for (std::int64_t k = 0; k < j_lo - i - d_lo; ++k) {
+      h_row[static_cast<std::size_t>(k)] = kNegInf;
+      i_row[static_cast<std::size_t>(k)] = kNegInf;
+    }
+    for (std::int64_t k = j_hi - i - d_lo + 1; k < w; ++k) {
+      h_row[static_cast<std::size_t>(k)] = kNegInf;
+      i_row[static_cast<std::size_t>(k)] = kNegInf;
+    }
+  }
+
+  const Score final_score = h_row[static_cast<std::size_t>(n - m - d_lo)];
+  result.cells = cells;
+  if (final_score <= kNegInf / 2) {
+    return result;  // corner never got a finite value
+  }
+  result.score = final_score;
+  result.reached_end = true;
+
+  if (options.traceback) {
+    result.cigar = traceback_affine(
+        m, n, [&](std::int64_t i, std::int64_t j) -> std::uint8_t {
+          const std::int64_t k = j - i - d_lo;
+          PIMNW_DCHECK(k >= 0 && k < w);
+          return bt_load(bt.data(), static_cast<std::uint64_t>(i - 1) *
+                                            static_cast<std::uint64_t>(w) +
+                                        static_cast<std::uint64_t>(k));
+        });
+  }
+  return result;
+}
+
+}  // namespace pimnw::align

@@ -1,0 +1,31 @@
+// Static banded Needleman–Wunsch with affine gaps (paper §3.3) — the
+// heuristic minimap2/KSW2 implements and the CPU baseline of every runtime
+// table. Only cells with j - i inside a fixed window around the main diagonal
+// are computed; complexity O(w·(m+n)).
+//
+// The band is *not* widened for the length difference of the two sequences:
+// exactly as in the paper, a static band of size w fails whenever the optimal
+// path (including the forced drift |n - m|) leaves the window, which is what
+// Table 1 measures.
+#pragma once
+
+#include <string_view>
+
+#include "align/result.hpp"
+
+namespace pimnw::align {
+
+struct BandedStaticOptions {
+  /// Total band width w: cells with j - i in [-w/2, w - 1 - w/2] are kept.
+  std::int64_t band_width = 128;
+  bool traceback = true;
+};
+
+/// Banded global alignment. When the corner (m, n) is outside the band or
+/// unreachable within it, `reached_end` is false and score/cigar are not
+/// meaningful (the pair counts as failed in the accuracy methodology).
+AlignResult banded_static(std::string_view a, std::string_view b,
+                          const Scoring& scoring,
+                          const BandedStaticOptions& options = {});
+
+}  // namespace pimnw::align

@@ -1,0 +1,58 @@
+// 4-bit traceback (BT) cell encoding shared by every aligner with traceback
+// in this project, including the DPU kernel (paper §4.2.2 derives exactly
+// this scheme: 2 bits for the origin of H, plus 1 bit each telling whether a
+// vertical (I) / horizontal (D) gap was opened or extended at this cell).
+#pragma once
+
+#include <cstdint>
+
+namespace pimnw::align {
+
+namespace bt {
+
+// Bits 0–1: which neighbour produced H(i,j).
+inline constexpr std::uint8_t kOriginMask = 0x3;
+inline constexpr std::uint8_t kOriginDiagMatch = 0;     // H(i-1,j-1), a==b
+inline constexpr std::uint8_t kOriginDiagMismatch = 1;  // H(i-1,j-1), a!=b
+inline constexpr std::uint8_t kOriginI = 2;             // vertical gap matrix
+inline constexpr std::uint8_t kOriginD = 3;             // horizontal gap matrix
+
+// Bit 2: I(i,j) came from H(i-1,j) (gap opened) rather than I(i-1,j).
+inline constexpr std::uint8_t kIOpen = 0x4;
+// Bit 3: D(i,j) came from H(i,j-1) (gap opened) rather than D(i,j-1).
+inline constexpr std::uint8_t kDOpen = 0x8;
+
+inline std::uint8_t make(std::uint8_t origin, bool i_open, bool d_open) {
+  return static_cast<std::uint8_t>(origin | (i_open ? kIOpen : 0) |
+                                   (d_open ? kDOpen : 0));
+}
+
+inline std::uint8_t origin(std::uint8_t code) { return code & kOriginMask; }
+inline bool i_open(std::uint8_t code) { return (code & kIOpen) != 0; }
+inline bool d_open(std::uint8_t code) { return (code & kDOpen) != 0; }
+
+}  // namespace bt
+
+/// Nibble-packed BT storage: two 4-bit cells per byte, cell k in bits
+/// (4*(k%2), +3) of byte k/2. Used over host vectors and over simulated
+/// MRAM/WRAM buffers alike.
+inline void bt_store(std::uint8_t* bytes, std::uint64_t index,
+                     std::uint8_t code) {
+  std::uint8_t& byte = bytes[index >> 1];
+  if (index & 1) {
+    byte = static_cast<std::uint8_t>((byte & 0x0f) | (code << 4));
+  } else {
+    byte = static_cast<std::uint8_t>((byte & 0xf0) | (code & 0x0f));
+  }
+}
+
+inline std::uint8_t bt_load(const std::uint8_t* bytes, std::uint64_t index) {
+  const std::uint8_t byte = bytes[index >> 1];
+  return (index & 1) ? static_cast<std::uint8_t>(byte >> 4)
+                     : static_cast<std::uint8_t>(byte & 0x0f);
+}
+
+/// Bytes needed to hold `cells` nibble-packed BT cells.
+inline std::uint64_t bt_bytes(std::uint64_t cells) { return (cells + 1) / 2; }
+
+}  // namespace pimnw::align

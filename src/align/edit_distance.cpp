@@ -1,0 +1,80 @@
+#include "align/edit_distance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace pimnw::align {
+
+std::uint64_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is the shorter sequence; one rolling row over it.
+  std::vector<std::uint64_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::uint64_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::uint64_t up = row[j];
+      const std::uint64_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({sub, up + 1, row[j - 1] + 1});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::optional<std::uint64_t> edit_distance_bounded(std::string_view a,
+                                                   std::string_view b,
+                                                   std::uint64_t max_k) {
+  const std::int64_t m = static_cast<std::int64_t>(a.size());
+  const std::int64_t n = static_cast<std::int64_t>(b.size());
+  const std::int64_t k = static_cast<std::int64_t>(max_k);
+  if (std::abs(m - n) > k) return std::nullopt;
+
+  constexpr std::uint64_t kBig =
+      std::numeric_limits<std::uint64_t>::max() / 4;
+  // Band of diagonals d = j - i in [-k, k]; row-wise rolling band.
+  const std::size_t width = static_cast<std::size_t>(2 * k + 1);
+  std::vector<std::uint64_t> row(width, kBig);
+  std::vector<std::uint64_t> next(width, kBig);
+  // Row 0: cell (0, j) at offset j + k.
+  for (std::int64_t j = 0; j <= std::min<std::int64_t>(n, k); ++j) {
+    row[static_cast<std::size_t>(j + k)] = static_cast<std::uint64_t>(j);
+  }
+  for (std::int64_t i = 1; i <= m; ++i) {
+    std::fill(next.begin(), next.end(), kBig);
+    const std::int64_t j_lo = std::max<std::int64_t>(0, i - k);
+    const std::int64_t j_hi = std::min<std::int64_t>(n, i + k);
+    for (std::int64_t j = j_lo; j <= j_hi; ++j) {
+      const std::size_t off = static_cast<std::size_t>(j - i + k);
+      if (j == 0) {
+        next[off] = static_cast<std::uint64_t>(i);
+        continue;
+      }
+      // Same-diagonal offset conventions: (i-1, j-1) is at `off` of the
+      // previous row, (i-1, j) at off+1, (i, j-1) at off-1 of this row.
+      std::uint64_t best = kBig;
+      const std::uint64_t diag = row[off];
+      if (diag != kBig) {
+        best = std::min(best, diag + (a[static_cast<std::size_t>(i - 1)] ==
+                                              b[static_cast<std::size_t>(j - 1)]
+                                          ? 0
+                                          : 1));
+      }
+      if (off + 1 < width && row[off + 1] != kBig) {
+        best = std::min(best, row[off + 1] + 1);
+      }
+      if (off > 0 && next[off - 1] != kBig) {
+        best = std::min(best, next[off - 1] + 1);
+      }
+      next[off] = best;
+    }
+    row.swap(next);
+  }
+  const std::uint64_t dist = row[static_cast<std::size_t>(n - m + k)];
+  if (dist > max_k) return std::nullopt;
+  return dist;
+}
+
+}  // namespace pimnw::align

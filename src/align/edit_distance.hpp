@@ -1,0 +1,21 @@
+// Unit-cost Levenshtein distance — used by dataset generators and property
+// tests (e.g. bounding how far a mutated read can drift from its template).
+// Banded variant so long-read tests stay cheap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace pimnw::align {
+
+/// Exact edit distance, O(|a|·|b|) time, O(min) memory.
+std::uint64_t edit_distance(std::string_view a, std::string_view b);
+
+/// Banded edit distance: exact value if it is <= max_k, std::nullopt if the
+/// distance provably exceeds max_k. O(max_k·(|a|+|b|)).
+std::optional<std::uint64_t> edit_distance_bounded(std::string_view a,
+                                                   std::string_view b,
+                                                   std::uint64_t max_k);
+
+}  // namespace pimnw::align

@@ -1,0 +1,122 @@
+#include "align/nw_full.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/bt_code.hpp"
+#include "align/traceback.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::align {
+namespace {
+
+// Row-wise Gotoh recursion. `I` (vertical gap, consumes a_i) needs the value
+// from the row above, so it is kept as an array; `D` (horizontal gap,
+// consumes b_j) only needs the previous column, a scalar carried along the
+// row. Tie-breaking is fixed project-wide — diagonal, then I, then D — so all
+// implementations (including the DPU kernel) produce identical paths.
+struct Rows {
+  std::vector<Score> h;  // H of the previous row, updated in place
+  std::vector<Score> iv; // I of the previous row, updated in place
+
+  Rows(std::size_t n, const Scoring& s) : h(n + 1), iv(n + 1, kNegInf) {
+    h[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      h[j] = -s.gap_cost(j);  // H(0,j) = D(0,j) boundary
+    }
+  }
+};
+
+}  // namespace
+
+AlignResult nw_full(std::string_view a, std::string_view b,
+                    const Scoring& scoring, const NwFullOptions& options) {
+  const std::int64_t m = static_cast<std::int64_t>(a.size());
+  const std::int64_t n = static_cast<std::int64_t>(b.size());
+
+  AlignResult result;
+  result.reached_end = true;
+  result.cells = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
+
+  std::vector<std::uint8_t> bt;
+  if (options.traceback) {
+    const std::uint64_t cells = result.cells;
+    PIMNW_CHECK_MSG(cells <= options.max_traceback_cells,
+                    "nw_full traceback needs " << cells
+                                               << " BT cells; raise "
+                                                  "max_traceback_cells or use "
+                                                  "score-only mode");
+    bt.assign(bt_bytes(cells), 0);
+  }
+
+  Rows rows(static_cast<std::size_t>(n), scoring);
+  const Score open_ext = scoring.gap_open + scoring.gap_extend;
+
+  for (std::int64_t i = 1; i <= m; ++i) {
+    Score diag = rows.h[0];  // H(i-1, 0)
+    rows.h[0] = -scoring.gap_cost(static_cast<std::uint64_t>(i));
+    Score d = kNegInf;  // D(i, 0) boundary
+    for (std::int64_t j = 1; j <= n; ++j) {
+      const Score h_up = rows.h[j];    // H(i-1, j)
+      const Score i_up = rows.iv[j];   // I(i-1, j)
+      const bool equal = a[static_cast<std::size_t>(i - 1)] ==
+                         b[static_cast<std::size_t>(j - 1)];
+
+      const Score i_ext = i_up - scoring.gap_extend;
+      const Score i_opn = h_up - open_ext;
+      const bool i_open = i_opn >= i_ext;  // prefer opening on ties (shorter
+                                           // gap chains during traceback)
+      const Score iv = i_open ? i_opn : i_ext;
+
+      const Score d_ext = d - scoring.gap_extend;
+      const Score d_opn = rows.h[j - 1] - open_ext;  // H(i, j-1)
+      const bool d_open = d_opn >= d_ext;
+      d = d_open ? d_opn : d_ext;
+
+      const Score h_diag = diag + scoring.sub(equal);
+      Score h;
+      std::uint8_t origin;
+      if (h_diag >= iv && h_diag >= d) {
+        h = h_diag;
+        origin = equal ? bt::kOriginDiagMatch : bt::kOriginDiagMismatch;
+      } else if (iv >= d) {
+        h = iv;
+        origin = bt::kOriginI;
+      } else {
+        h = d;
+        origin = bt::kOriginD;
+      }
+
+      if (options.traceback) {
+        const std::uint64_t index =
+            static_cast<std::uint64_t>(i - 1) * static_cast<std::uint64_t>(n) +
+            static_cast<std::uint64_t>(j - 1);
+        bt_store(bt.data(), index, bt::make(origin, i_open, d_open));
+      }
+
+      diag = h_up;
+      rows.h[j] = h;
+      rows.iv[j] = iv;
+    }
+  }
+
+  result.score = rows.h[static_cast<std::size_t>(n)];
+  if (options.traceback) {
+    result.cigar = traceback_affine(
+        m, n, [&](std::int64_t i, std::int64_t j) -> std::uint8_t {
+          return bt_load(bt.data(), static_cast<std::uint64_t>(i - 1) *
+                                            static_cast<std::uint64_t>(n) +
+                                        static_cast<std::uint64_t>(j - 1));
+        });
+  }
+  return result;
+}
+
+Score nw_full_score(std::string_view a, std::string_view b,
+                    const Scoring& scoring) {
+  NwFullOptions options;
+  options.traceback = false;
+  return nw_full(a, b, scoring, options).score;
+}
+
+}  // namespace pimnw::align

@@ -1,0 +1,33 @@
+// Full (unbanded) Needleman–Wunsch with Gotoh affine gaps — the exact
+// reference. The paper uses "minimap2 with the band heuristic disabled" as
+// its accuracy baseline (§5.1); this module plays that role here.
+//
+// Complexity: O(m·n) time. Score-only mode uses O(n) memory (two rolling
+// rows); traceback mode stores one 4-bit BT cell per matrix cell, so it is
+// gated by `max_traceback_cells`.
+#pragma once
+
+#include <string_view>
+
+#include "align/result.hpp"
+
+namespace pimnw::align {
+
+struct NwFullOptions {
+  bool traceback = true;
+  /// Upper bound on (m+1)*(n+1) in traceback mode — half this many bytes of
+  /// BT are allocated. PIMNW_CHECK fails beyond it; use score-only for long
+  /// sequences (a 30k x 30k traceback would be fine at 450 MB but the
+  /// accuracy methodology only needs scores).
+  std::uint64_t max_traceback_cells = std::uint64_t{1} << 28;
+};
+
+/// Optimal global alignment of a vs b. `reached_end` is always true.
+AlignResult nw_full(std::string_view a, std::string_view b,
+                    const Scoring& scoring, const NwFullOptions& options = {});
+
+/// Convenience: optimal score only, O(n) memory.
+Score nw_full_score(std::string_view a, std::string_view b,
+                    const Scoring& scoring);
+
+}  // namespace pimnw::align

@@ -1,0 +1,39 @@
+// Result type shared by all aligners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/scoring.hpp"
+#include "dna/cigar.hpp"
+
+namespace pimnw::align {
+
+/// Outcome of one pairwise global alignment.
+struct AlignResult {
+  /// Best global score found. Meaningless when !reached_end.
+  Score score = kNegInf;
+
+  /// Banded aligners cannot always connect (0,0) to (m,n) inside the band;
+  /// when they cannot, this is false and the alignment counts as failed
+  /// (inaccurate) in the Table 1 methodology.
+  bool reached_end = false;
+
+  /// Alignment path; empty when the aligner ran in score-only mode.
+  dna::Cigar cigar;
+
+  /// DP cells actually computed — the workload measure the paper's runtime
+  /// comparisons are built on (CPU at band 256/512 computes 2–4x the cells of
+  /// the DPU at band 128).
+  std::uint64_t cells = 0;
+};
+
+/// Trace of the adaptive band's walk, for the Fig. 3 reproduction: for each
+/// anti-diagonal, the row index of the top of the window.
+struct BandTrace {
+  std::vector<std::int64_t> window_origin;
+  std::uint64_t down_moves = 0;
+  std::uint64_t right_moves = 0;
+};
+
+}  // namespace pimnw::align

@@ -1,0 +1,24 @@
+#include "align/scoring.hpp"
+
+namespace pimnw::align {
+
+Score cigar_score(const dna::Cigar& cigar, const Scoring& scoring) {
+  Score score = 0;
+  for (const auto& item : cigar.items()) {
+    switch (item.op) {
+      case dna::CigarOp::kMatch:
+        score += scoring.match * static_cast<Score>(item.len);
+        break;
+      case dna::CigarOp::kMismatch:
+        score -= scoring.mismatch * static_cast<Score>(item.len);
+        break;
+      case dna::CigarOp::kInsert:
+      case dna::CigarOp::kDelete:
+        score -= scoring.gap_cost(item.len);
+        break;
+    }
+  }
+  return score;
+}
+
+}  // namespace pimnw::align

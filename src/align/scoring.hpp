@@ -1,0 +1,50 @@
+// Affine-gap scoring model (paper §3.1–3.2, Gotoh formulation).
+//
+// All four parameters are stored as non-negative magnitudes; the recurrences
+// add `+match` for a match and subtract the others. A gap of length L costs
+// `gap_open + L * gap_extend` (the "open" charge is paid once per gap in
+// addition to the per-base extension, matching equations 3–4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "dna/cigar.hpp"
+
+namespace pimnw::align {
+
+using Score = std::int32_t;
+
+/// Sentinel for "cell unreachable". Chosen far from INT32_MIN so that
+/// subtracting gap penalties from it cannot wrap around.
+inline constexpr Score kNegInf = -(Score{1} << 30);
+
+struct Scoring {
+  Score match = 2;      // added when a_i == b_j
+  Score mismatch = 4;   // subtracted when a_i != b_j
+  Score gap_open = 4;   // one-off charge for starting a gap
+  Score gap_extend = 2; // per-base charge, also paid on the opening base
+
+  /// Substitution score for an (equal?) pair of bases.
+  Score sub(bool equal) const { return equal ? match : -mismatch; }
+
+  /// Cost (negative score contribution) of a gap of length `len`.
+  Score gap_cost(std::uint64_t len) const {
+    return len == 0 ? 0
+                    : static_cast<Score>(gap_open +
+                                         static_cast<Score>(len) * gap_extend);
+  }
+
+  bool operator==(const Scoring&) const = default;
+};
+
+/// Default parameters used across experiments; values follow minimap2's
+/// map-ont preset (A=2, B=4, O=4, E=2), the tool the paper benchmarks against.
+inline Scoring default_scoring() { return Scoring{}; }
+
+/// Score of an explicit alignment under this model. This is the ground truth
+/// the DP implementations are tested against: for any cigar C of (a,b),
+/// dp_score(a,b) >= cigar_score(C), with equality iff C is optimal.
+Score cigar_score(const dna::Cigar& cigar, const Scoring& scoring);
+
+}  // namespace pimnw::align

@@ -1,0 +1,87 @@
+// Generic affine-gap traceback over the shared 4-bit BT encoding.
+//
+// The three DP implementations (full, static band, adaptive band) and the DPU
+// kernel all store BT cells with different addressing (row-major, banded
+// row-major, banded anti-diagonal in MRAM). The walk itself is identical, so
+// it is factored here over a `code_at(i, j)` accessor.
+#pragma once
+
+#include <cstdint>
+
+#include "align/bt_code.hpp"
+#include "dna/cigar.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::align {
+
+/// Reconstruct the CIGAR of the optimal path ending at (m, n).
+///
+/// `code_at(i, j)` must return the BT nibble of cell (i, j) for 1<=i<=m,
+/// 1<=j<=n that lies on the optimal path; it is never called for boundary
+/// cells (i==0 or j==0), whose moves are forced.
+template <typename CodeAt>
+dna::Cigar traceback_affine(std::int64_t m, std::int64_t n, CodeAt&& code_at) {
+  enum class State { kH, kI, kD };
+  dna::Cigar cigar;
+  std::int64_t i = m;
+  std::int64_t j = n;
+  State state = State::kH;
+  // Reversed emission: ops are pushed end-to-front and the cigar reversed at
+  // the end. Cigar::push merges runs, so the result stays canonical.
+  while (i > 0 || j > 0) {
+    if (state == State::kH) {
+      if (i == 0) {  // only deletions can remain along the top boundary
+        cigar.push(dna::CigarOp::kDelete, static_cast<std::uint32_t>(j));
+        break;
+      }
+      if (j == 0) {  // only insertions along the left boundary
+        cigar.push(dna::CigarOp::kInsert, static_cast<std::uint32_t>(i));
+        break;
+      }
+      const std::uint8_t code = code_at(i, j);
+      switch (bt::origin(code)) {
+        case bt::kOriginDiagMatch:
+          cigar.push(dna::CigarOp::kMatch);
+          --i;
+          --j;
+          break;
+        case bt::kOriginDiagMismatch:
+          cigar.push(dna::CigarOp::kMismatch);
+          --i;
+          --j;
+          break;
+        case bt::kOriginI:
+          state = State::kI;
+          break;
+        case bt::kOriginD:
+          state = State::kD;
+          break;
+      }
+    } else if (state == State::kI) {
+      // A vertical gap run: consume rows until the cell where it was opened.
+      PIMNW_DCHECK(i > 0);
+      if (j == 0) {  // boundary column is one long gap
+        cigar.push(dna::CigarOp::kInsert, static_cast<std::uint32_t>(i));
+        break;
+      }
+      const std::uint8_t code = code_at(i, j);
+      cigar.push(dna::CigarOp::kInsert);
+      --i;
+      if (bt::i_open(code)) state = State::kH;
+    } else {
+      PIMNW_DCHECK(j > 0);
+      if (i == 0) {
+        cigar.push(dna::CigarOp::kDelete, static_cast<std::uint32_t>(j));
+        break;
+      }
+      const std::uint8_t code = code_at(i, j);
+      cigar.push(dna::CigarOp::kDelete);
+      --j;
+      if (bt::d_open(code)) state = State::kH;
+    }
+  }
+  cigar.reverse();
+  return cigar;
+}
+
+}  // namespace pimnw::align

@@ -1,0 +1,72 @@
+#include "baseline/batch.hpp"
+
+#include <atomic>
+
+#include "dna/alphabet.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pimnw::baseline {
+
+CpuBatchReport cpu_align_batch(std::span<const CpuPair> pairs,
+                               const align::Scoring& scoring,
+                               const Ksw2Options& options,
+                               std::vector<align::AlignResult>* results,
+                               int threads) {
+  CpuBatchReport report;
+  if (results != nullptr) {
+    results->assign(pairs.size(), align::AlignResult{});
+  }
+  if (pairs.empty()) return report;
+
+  ThreadPool pool(threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::atomic<std::uint64_t> cells{0};
+  std::atomic<std::uint64_t> aligned{0};
+
+  Stopwatch watch;
+  pool.parallel_for(pairs.size(), [&](std::size_t p) {
+    align::AlignResult r =
+        ksw2_align(pairs[p].a, pairs[p].b, scoring, options);
+    cells.fetch_add(r.cells, std::memory_order_relaxed);
+    if (r.reached_end) aligned.fetch_add(1, std::memory_order_relaxed);
+    if (results != nullptr) {
+      (*results)[p] = std::move(r);
+    }
+  });
+  report.wall_seconds = watch.seconds();
+  report.total_cells = cells.load();
+  report.aligned = aligned.load();
+  if (report.wall_seconds > 0) {
+    report.cells_per_second =
+        static_cast<double>(report.total_cells) / report.wall_seconds;
+  }
+  return report;
+}
+
+double measure_local_cells_per_second(std::uint64_t target_cells) {
+  Xoshiro256 rng(0xCA11B8A7E);
+  const std::size_t len = 4000;
+  std::string a(len, 'A');
+  std::string b(len, 'A');
+  for (std::size_t i = 0; i < len; ++i) {
+    a[i] = dna::decode_base(static_cast<dna::Code>(rng.below(4)));
+    b[i] = rng.chance(0.95) ? a[i]
+                            : dna::decode_base(
+                                  static_cast<dna::Code>(rng.below(4)));
+  }
+  Ksw2Options options;
+  options.band_width = 256;
+  options.traceback = true;
+  std::uint64_t cells = 0;
+  Stopwatch watch;
+  while (cells < target_cells) {
+    const align::AlignResult r =
+        ksw2_align(a, b, align::default_scoring(), options);
+    cells += r.cells;
+  }
+  const double seconds = watch.seconds();
+  return seconds > 0 ? static_cast<double>(cells) / seconds : 0.0;
+}
+
+}  // namespace pimnw::baseline

@@ -1,0 +1,42 @@
+// Multithreaded CPU batch aligner — the "minimap2 with OpenMP" role of the
+// paper's comparisons: align a list of pairs across worker threads and
+// report measured throughput (cells/second), the calibration input of the
+// Xeon timing model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "align/result.hpp"
+#include "baseline/ksw2_like.hpp"
+
+namespace pimnw::baseline {
+
+struct CpuPair {
+  std::string_view a;
+  std::string_view b;
+};
+
+struct CpuBatchReport {
+  double wall_seconds = 0.0;      // measured on this machine
+  std::uint64_t total_cells = 0;  // DP cells actually computed
+  std::uint64_t aligned = 0;      // pairs that reached the corner
+  double cells_per_second = 0.0;  // total_cells / wall_seconds
+};
+
+/// Align every pair with `threads` workers (0 = hardware concurrency).
+/// Results (if requested) are indexed like the input.
+CpuBatchReport cpu_align_batch(std::span<const CpuPair> pairs,
+                               const align::Scoring& scoring,
+                               const Ksw2Options& options,
+                               std::vector<align::AlignResult>* results,
+                               int threads = 0);
+
+/// Measure this machine's single-thread KSW2-like throughput in
+/// cells/second on a synthetic workload (used when the caller has no batch
+/// of its own to calibrate from).
+double measure_local_cells_per_second(std::uint64_t target_cells = 50'000'000);
+
+}  // namespace pimnw::baseline

@@ -1,0 +1,56 @@
+// Timing model for the paper's two CPU servers.
+//
+// We cannot run the authors' Xeons, so CPU rows are modeled as
+//
+//   seconds = cells / (per-core rate x cores x efficiency)
+//
+// where the per-core rate is *measured on this machine* for our KSW2-like
+// kernel (baseline::measure_local_cells_per_second — same algorithm, so the
+// cell counts are apples-to-apples), and the multicore efficiency is
+// *calibrated per dataset class from the paper's own 4215-vs-4216 scaling
+// observations* (§5.2–5.4: minimap2 scales poorly on short reads and on
+// S30000, well on S10000, mediocre on the real datasets). That calibration
+// is the honest option: the paper attributes the effects to L3 capacity and
+// AVX frequency behaviour that a simulation cannot derive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pimnw::baseline {
+
+enum class XeonServer { k4215, k4216 };
+
+/// Which of the paper's workload classes the efficiency calibration keys on.
+enum class DatasetClass { kS1000, kS10000, kS30000, k16S, kPacbio };
+
+const char* xeon_server_name(XeonServer server);
+const char* dataset_class_name(DatasetClass klass);
+
+struct XeonSpec {
+  const char* name;
+  int cores;
+  double base_ghz;
+};
+
+XeonSpec xeon_spec(XeonServer server);
+
+/// Parallel efficiency (0..1] of minimap2-style banded alignment on the
+/// given server for the given dataset class, calibrated from the paper's
+/// measured cross-server ratios (see EXPERIMENTS.md).
+double xeon_efficiency(XeonServer server, DatasetClass klass);
+
+/// Modeled wall time for `cells` DP cells at `percore_cells_per_second`.
+double xeon_modeled_seconds(std::uint64_t cells,
+                            double percore_cells_per_second,
+                            XeonServer server, DatasetClass klass);
+
+/// Per-core throughput of minimap2's SSE-vectorised KSW2 on a Xeon 4215
+/// core, calibrated once from the paper's own Table 2 anchor:
+/// S1000 = 10M pairs x ~(2·128)·1000 banded cells = 2.56e12 cells in 294 s
+/// on 32 cores at 0.85 efficiency → ~3.2e8 cells/s/core. All CPU rows in
+/// the benches use this single constant; the locally measured scalar rate
+/// is printed alongside for reference (EXPERIMENTS.md discusses the gap).
+inline constexpr double kCalibratedXeonCellsPerSecond = 3.2e8;
+
+}  // namespace pimnw::baseline

@@ -1,0 +1,85 @@
+// Instruction budgets of the DPU alignment kernel, per kernel variant.
+//
+// The simulator executes the kernel's real logic in C++, so instruction
+// counts cannot be observed — they are *budgets* charged to the cost model
+// per unit of work. The per-cell budgets below are calibrated jointly from:
+//
+//  * the paper's absolute runtimes: e.g. Table 3 (S10000, 40 ranks, asm):
+//    1e6 pairs x (m+n)·w = 2.56e12 cells in 132 s on 2560 DPUs at 350 MHz
+//    and ~1 IPC  →  ~46 instructions/cell with traceback;
+//    Table 5 (16S, score-only, asm, 632 s over ~1.8e13 cells) → ~31;
+//  * Table 7's pure-C/asm ratios: ~1.36 without traceback (only the score
+//    loop benefits from cmpb4) and ~1.6 with it (the BT pack/write path
+//    gains the most from the fused shift/jump instructions).
+//
+// The split {score 43→31, BT 29→15} reproduces both ratios and both
+// absolute anchors within a few percent.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace pimnw::core {
+
+struct KernelCost {
+  /// Anti-diagonal inner loop, score computation only, per DP cell
+  /// (H/I/D updates, 2-bit base extraction, band bookkeeping).
+  std::uint64_t cell_score_instr;
+  /// Additional per-cell work when traceback is on (BT nibble pack + row
+  /// buffer management).
+  std::uint64_t cell_bt_instr;
+  /// Traceback walk, per emitted alignment column.
+  std::uint64_t traceback_op_instr;
+  /// Master-tasklet work per anti-diagonal (window steering decision,
+  /// pointer rotation, loop control).
+  std::uint64_t antidiag_master_instr;
+  /// Per-tasklet barrier cost per anti-diagonal (the pool synchronises at
+  /// anti-diagonal granularity, §4.2.3).
+  std::uint64_t barrier_instr;
+  /// Per-pair setup (descriptor fetch, buffer init, result write-back).
+  std::uint64_t pair_setup_instr;
+  /// Kernel boot / header parse, once per launch (per pool).
+  std::uint64_t launch_setup_instr;
+};
+
+inline constexpr KernelCost kPureCCost = {
+    .cell_score_instr = 43,
+    .cell_bt_instr = 29,
+    .traceback_op_instr = 24,
+    .antidiag_master_instr = 24,
+    .barrier_instr = 4,
+    .pair_setup_instr = 600,
+    .launch_setup_instr = 2000,
+};
+
+inline constexpr KernelCost kAsmCost = {
+    .cell_score_instr = 31,
+    .cell_bt_instr = 15,
+    .traceback_op_instr = 12,
+    .antidiag_master_instr = 20,
+    .barrier_instr = 4,
+    .pair_setup_instr = 600,
+    .launch_setup_instr = 2000,
+};
+
+inline const KernelCost& kernel_cost(KernelVariant variant) {
+  return variant == KernelVariant::kPureC ? kPureCCost : kAsmCost;
+}
+
+/// Host-side cost model for the orchestration overhead the paper measures in
+/// §5 (15% of total on S1000, <0.1% on S30000): per-pair 2-bit encoding /
+/// batch building / result decoding, plus a fixed cost per rank launch
+/// (boot command, SDK bookkeeping).
+struct HostCost {
+  /// Seconds of host work per input base (on-the-fly 2-bit encode + copy).
+  double per_base_seconds = 0.4e-9;
+  /// Seconds per pair (descriptor building, result decode).
+  double per_pair_seconds = 1.5e-6;
+  /// Seconds per rank launch (boot + sync syscall path).
+  double per_launch_seconds = 0.5e-3;
+};
+
+inline constexpr HostCost kDefaultHostCost = {};
+
+}  // namespace pimnw::core

@@ -1,0 +1,675 @@
+#include "core/dpu_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "align/adaptive_steering.hpp"
+#include "align/bt_code.hpp"
+#include "align/scoring.hpp"
+#include "align/traceback.hpp"
+#include "core/mram_layout.hpp"
+#include "dna/packed_sequence.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::core {
+namespace {
+
+using align::Score;
+using align::kNegInf;
+using upmem::DpuContext;
+
+std::uint64_t align8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
+
+/// Extra bases kept in a sequence window beyond the band, so DMA refills
+/// happen every few hundred anti-diagonals instead of every one.
+constexpr std::int64_t kWinSlackBases = 256;
+/// Window starts are rounded down to 32 bases = 8 bytes (DMA alignment).
+constexpr std::int64_t kWinAlignBases = 32;
+/// lo values are staged in WRAM and flushed in chunks of this many entries.
+constexpr std::uint32_t kLoChunk = 128;
+/// CIGAR runs staged before flushing to MRAM.
+constexpr std::uint32_t kRunChunk = 256;
+/// BT rows fetched per DMA during traceback.
+constexpr std::uint32_t kTbCacheRows = 8;
+/// lo entries fetched per DMA during traceback.
+constexpr std::uint32_t kTbLoCache = 64;
+
+std::uint64_t bt_row_bytes(std::int64_t w) {
+  return align8(static_cast<std::uint64_t>(w + 1) / 2);
+}
+
+/// DMA transfers are limited to 2048 bytes (upmem::kDmaMaxBytes); larger
+/// moves are issued as a chain of maximal transfers, each charged.
+void dma_read_chunked(DpuContext& ctx, upmem::PoolCost& pool,
+                      std::uint64_t mram_addr, std::uint64_t wram_addr,
+                      std::uint64_t bytes) {
+  while (bytes > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(bytes,
+                                                        upmem::kDmaMaxBytes);
+    ctx.mram_read(mram_addr, wram_addr, chunk);
+    pool.dma(chunk);
+    mram_addr += chunk;
+    wram_addr += chunk;
+    bytes -= chunk;
+  }
+}
+
+void dma_write_chunked(DpuContext& ctx, upmem::PoolCost& pool,
+                       std::uint64_t wram_addr, std::uint64_t mram_addr,
+                       std::uint64_t bytes) {
+  while (bytes > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(bytes,
+                                                        upmem::kDmaMaxBytes);
+    ctx.mram_write(wram_addr, mram_addr, chunk);
+    pool.dma(chunk);
+    wram_addr += chunk;
+    mram_addr += chunk;
+    bytes -= chunk;
+  }
+}
+
+/// Sliding 2-bit-packed window over a sequence stored in MRAM.
+/// Monotonically advancing; refills itself (and charges the DMA) on demand.
+class SeqWindow {
+ public:
+  void init(DpuContext* ctx, upmem::PoolCost* pool, std::uint64_t wram_addr,
+            std::int64_t cap_bases) {
+    ctx_ = ctx;
+    pool_ = pool;
+    wram_addr_ = wram_addr;
+    cap_bases_ = cap_bases;
+  }
+
+  static std::uint64_t wram_bytes(std::int64_t band) {
+    return align8(static_cast<std::uint64_t>(band + kWinSlackBases) / 4 + 8);
+  }
+
+  void attach(std::uint64_t mram_data_off, std::int64_t length) {
+    data_off_ = mram_data_off;
+    length_ = length;
+    win_start_ = 0;
+    win_loaded_ = 0;
+  }
+
+  /// Make bases [first, last] available; charges the refill DMA if needed.
+  void ensure(std::int64_t first, std::int64_t last) {
+    first = std::max<std::int64_t>(first, 0);
+    last = std::min<std::int64_t>(last, length_ - 1);
+    if (last < first) return;
+    PIMNW_DCHECK(first >= win_start_);  // windows only move forward
+    if (last < win_start_ + win_loaded_) return;
+    // Refill from an aligned start at (or before) `first`.
+    const std::int64_t new_start = (first / kWinAlignBases) * kWinAlignBases;
+    const std::uint64_t start_byte = static_cast<std::uint64_t>(new_start) / 4;
+    const std::uint64_t seq_bytes =
+        align8(dna::PackedSequence::bytes_for(
+            static_cast<std::uint64_t>(length_)));
+    const std::uint64_t want_bytes =
+        align8(static_cast<std::uint64_t>(cap_bases_) / 4);
+    const std::uint64_t read_bytes =
+        std::min(want_bytes, seq_bytes - start_byte);
+    PIMNW_CHECK_MSG(read_bytes >= upmem::kDmaMinBytes,
+                    "sequence window refill degenerated to " << read_bytes
+                                                             << " bytes");
+    // Chunked: wide bands can push the window past one DMA's 2048 bytes.
+    std::uint64_t done = 0;
+    while (done < read_bytes) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(read_bytes - done, upmem::kDmaMaxBytes);
+      ctx_->mram_read(data_off_ + start_byte + done, wram_addr_ + done, chunk);
+      pool_->dma(chunk);
+      done += chunk;
+    }
+    win_start_ = new_start;
+    win_loaded_ = static_cast<std::int64_t>(read_bytes) * 4;
+    PIMNW_CHECK_MSG(last < win_start_ + win_loaded_,
+                    "band wider than the sequence window");
+  }
+
+  /// 2-bit code of base `index` (must be inside the ensured range).
+  std::uint8_t base(std::int64_t index) const {
+    PIMNW_DCHECK(index >= win_start_ && index < win_start_ + win_loaded_);
+    const std::int64_t rel = index - win_start_;
+    const std::uint8_t byte =
+        *ctx_->wram.raw(wram_addr_ + static_cast<std::uint64_t>(rel / 4), 1);
+    return static_cast<std::uint8_t>((byte >> (2 * (rel % 4))) & 0x3);
+  }
+
+ private:
+  DpuContext* ctx_ = nullptr;
+  upmem::PoolCost* pool_ = nullptr;
+  std::uint64_t wram_addr_ = 0;
+  std::int64_t cap_bases_ = 0;
+  std::uint64_t data_off_ = 0;
+  std::int64_t length_ = 0;
+  std::int64_t win_start_ = 0;
+  std::int64_t win_loaded_ = 0;
+};
+
+/// Per-pool WRAM working set, allocated once per launch (the DPU program's
+/// static buffers) and reused across the pairs the pool aligns.
+struct PoolBuffers {
+  std::span<Score> h[2];  // anti-diagonal H arrays, parity-rotated
+  std::span<Score> iv;    // I on the previous anti-diagonal (in-place)
+  std::span<Score> dv;    // D on the previous anti-diagonal (in-place)
+  SeqWindow win_a;
+  SeqWindow win_b;
+  std::uint64_t bt_row_addr = 0;    // one nibble-packed BT row
+  std::uint64_t lo_buf_addr = 0;    // staged window origins
+  std::span<std::uint32_t> lo_buf;
+  std::uint64_t run_buf_addr = 0;   // staged CIGAR runs
+  std::span<std::uint32_t> run_buf;
+  std::uint64_t tb_rows_addr = 0;   // traceback row cache
+  std::uint64_t tb_lo_addr = 0;     // traceback lo cache
+  std::span<std::uint32_t> tb_lo;
+
+  void allocate(DpuContext& ctx, upmem::PoolCost& pool, std::int64_t w) {
+    h[0] = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
+    h[1] = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
+    iv = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
+    dv = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
+    const std::uint64_t win_bytes = SeqWindow::wram_bytes(w);
+    win_a.init(&ctx, &pool, ctx.wram.alloc(win_bytes), w + kWinSlackBases);
+    win_b.init(&ctx, &pool, ctx.wram.alloc(win_bytes), w + kWinSlackBases);
+    bt_row_addr = ctx.wram.alloc(bt_row_bytes(w));
+    lo_buf_addr = ctx.wram.alloc(kLoChunk * 4);
+    lo_buf = ctx.wram.view<std::uint32_t>(lo_buf_addr, kLoChunk);
+    run_buf_addr = ctx.wram.alloc(kRunChunk * 4);
+    run_buf = ctx.wram.view<std::uint32_t>(run_buf_addr, kRunChunk);
+    tb_rows_addr = ctx.wram.alloc(kTbCacheRows * bt_row_bytes(w));
+    tb_lo_addr = ctx.wram.alloc(kTbLoCache * 4);
+    tb_lo = ctx.wram.view<std::uint32_t>(tb_lo_addr, kTbLoCache);
+  }
+};
+
+/// Everything the kernel needs about the batch, parsed from MRAM.
+struct Batch {
+  BatchHeader header;
+  align::Scoring scoring;
+
+  SeqEntry seq_entry(DpuContext& ctx, upmem::PoolCost& pool,
+                     std::uint32_t index) const {
+    SeqEntry entry;
+    const std::uint64_t addr = header.seq_table_off + index * sizeof(SeqEntry);
+    ctx.mram_read(addr, scratch_, sizeof(SeqEntry));
+    pool.dma(sizeof(SeqEntry));
+    std::memcpy(&entry, ctx.wram.raw(scratch_, sizeof(SeqEntry)),
+                sizeof(SeqEntry));
+    return entry;
+  }
+
+  PairEntry pair_entry(DpuContext& ctx, upmem::PoolCost& pool,
+                       std::uint32_t index) const {
+    PairEntry entry;
+    const std::uint64_t addr =
+        header.pair_table_off + index * sizeof(PairEntry);
+    ctx.mram_read(addr, scratch_, sizeof(PairEntry));
+    pool.dma(sizeof(PairEntry));
+    std::memcpy(&entry, ctx.wram.raw(scratch_, sizeof(PairEntry)),
+                sizeof(PairEntry));
+    return entry;
+  }
+
+  std::uint64_t scratch_ = 0;  // small WRAM staging area for table entries
+};
+
+/// State of one alignment in progress (per pool).
+class PairAligner {
+ public:
+  PairAligner(DpuContext& ctx, upmem::PoolCost& pool, PoolBuffers& buffers,
+              const Batch& batch, const KernelCost& cost, int tasklets,
+              int pool_index)
+      : ctx_(ctx),
+        pool_(pool),
+        buf_(buffers),
+        batch_(batch),
+        cost_(cost),
+        tasklets_(tasklets),
+        pool_index_(pool_index) {}
+
+  void align(const PairEntry& pair, std::uint32_t pair_index);
+
+ private:
+  std::uint64_t pool_cycles_now() const;
+  void compute_band(std::int64_t m, std::int64_t n);
+  dna::Cigar traceback(std::int64_t m, std::int64_t n);
+  void write_result(std::uint32_t pair_index, const PairResult& result);
+  void flush_runs(const PairEntry& pair, bool final_flush);
+  void emit_run(const PairEntry& pair, dna::CigarOp op, std::uint32_t len);
+
+  // BT scratch addresses for this pool and pair.
+  std::uint64_t lo_area() const {
+    return batch_.header.bt_scratch_off +
+           static_cast<std::uint64_t>(pool_index_) *
+               batch_.header.bt_scratch_stride;
+  }
+  std::uint64_t rows_area(std::int64_t diags) const {
+    return lo_area() + align8(static_cast<std::uint64_t>(diags) * 4);
+  }
+
+  DpuContext& ctx_;
+  upmem::PoolCost& pool_;
+  PoolBuffers& buf_;
+  const Batch& batch_;
+  const KernelCost& cost_;
+  int tasklets_;
+  int pool_index_;
+
+  // Band state after compute_band().
+  bool traceback_on_ = false;
+  std::int64_t final_lo_ = 0;
+  Score final_score_ = kNegInf;
+  bool reached_ = false;
+
+  // Staged lo values.
+  std::uint32_t lo_staged_ = 0;   // entries in lo_buf
+  std::uint64_t lo_flushed_ = 0;  // entries already in MRAM
+
+  // Staged CIGAR runs.
+  std::uint32_t runs_staged_ = 0;
+  std::uint64_t runs_flushed_ = 0;
+  bool cigar_overflow_ = false;
+
+  // Traceback caches.
+  std::int64_t tb_rows_base_ = -1;  // first anti-diagonal in the row cache
+  std::int64_t tb_lo_base_ = -1;    // first anti-diagonal in the lo cache
+};
+
+std::uint64_t PairAligner::pool_cycles_now() const {
+  return pool_.critical_instr() *
+             upmem::issue_interval(ctx_.cost.active_tasklets()) +
+         pool_.critical_dma_cycles();
+}
+
+void PairAligner::align(const PairEntry& pair, std::uint32_t pair_index) {
+  const std::uint64_t cycles_before = pool_cycles_now();
+  const std::uint64_t dma_before = pool_.dma_bytes();
+  pool_.serial(cost_.pair_setup_instr);
+
+  const SeqEntry sa = batch_.seq_entry(ctx_, pool_, pair.seq_a);
+  const SeqEntry sb = batch_.seq_entry(ctx_, pool_, pair.seq_b);
+  const std::int64_t m = sa.length;
+  const std::int64_t n = sb.length;
+
+  buf_.win_a.attach(sa.data_off, m);
+  buf_.win_b.attach(sb.data_off, n);
+  traceback_on_ = (batch_.header.flags & kFlagTraceback) != 0;
+  lo_staged_ = 0;
+  lo_flushed_ = 0;
+  runs_staged_ = 0;
+  runs_flushed_ = 0;
+  cigar_overflow_ = false;
+  tb_rows_base_ = -1;
+  tb_lo_base_ = -1;
+
+  compute_band(m, n);
+
+  auto stamp_cost = [&](PairResult& result) {
+    const std::uint64_t cycles = pool_cycles_now() - cycles_before;
+    result.pool_cycles_lo = static_cast<std::uint32_t>(cycles);
+    result.pool_cycles_hi = static_cast<std::uint32_t>(cycles >> 32);
+    result.dma_bytes =
+        static_cast<std::uint32_t>(pool_.dma_bytes() - dma_before);
+  };
+
+  PairResult result{};
+  result.score = final_score_;
+  if (!reached_) {
+    result.status = kStatusUnreachable;
+    result.score = 0;
+    stamp_cost(result);
+    write_result(pair_index, result);
+    return;
+  }
+
+  if (traceback_on_) {
+    const dna::Cigar cigar = traceback(m, n);
+    // Emit runs in reversed order (the walk produced them forward after its
+    // own reverse; writing them back-to-front matches the real kernel which
+    // streams runs as the walk goes).
+    const auto& items = cigar.items();
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      emit_run(pair, it->op, it->len);
+    }
+    flush_runs(pair, true);
+    pool_.serial(cost_.traceback_op_instr * cigar.columns());
+    result.cigar_runs = cigar_overflow_
+                            ? 0
+                            : static_cast<std::uint32_t>(items.size());
+    if (cigar_overflow_) result.status = kStatusCigarOverflow;
+  }
+  stamp_cost(result);
+  write_result(pair_index, result);
+}
+
+void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
+  const std::int64_t w = batch_.header.band_width;
+  const align::Scoring& sc = batch_.scoring;
+  const Score open_ext = sc.gap_open + sc.gap_extend;
+  const std::uint64_t row_bytes = bt_row_bytes(w);
+  const std::uint64_t rows_off = rows_area(m + n + 1);
+
+  std::fill(buf_.h[0].begin(), buf_.h[0].end(), kNegInf);
+  std::fill(buf_.h[1].begin(), buf_.h[1].end(), kNegInf);
+  std::fill(buf_.iv.begin(), buf_.iv.end(), kNegInf);
+  std::fill(buf_.dv.begin(), buf_.dv.end(), kNegInf);
+
+  std::int64_t lo = 0;
+  std::int64_t lo1 = 0;
+  std::int64_t lo2 = 0;
+
+  const std::uint64_t cell_instr =
+      cost_.cell_score_instr + (traceback_on_ ? cost_.cell_bt_instr : 0);
+
+  for (std::int64_t s = 0; s <= m + n; ++s) {
+    // Stage this anti-diagonal's window origin for the traceback.
+    if (traceback_on_) {
+      buf_.lo_buf[lo_staged_++] = static_cast<std::uint32_t>(lo);
+      if (lo_staged_ == kLoChunk) {
+        ctx_.mram_write(buf_.lo_buf_addr, lo_area() + lo_flushed_ * 4,
+                        lo_staged_ * 4);
+        pool_.dma(lo_staged_ * 4);
+        lo_flushed_ += lo_staged_;
+        lo_staged_ = 0;
+      }
+    }
+
+    const std::int64_t i_min =
+        std::max<std::int64_t>(lo, std::max<std::int64_t>(0, s - n));
+    const std::int64_t i_max = std::min<std::int64_t>(
+        lo + w - 1, std::min<std::int64_t>(m, s));
+
+    // Slide sequence windows over the bases this anti-diagonal touches.
+    buf_.win_a.ensure(i_min - 1, i_max - 1);
+    buf_.win_b.ensure(s - i_max - 1, s - i_min - 1);
+
+    const std::int64_t shift1 = lo - lo1;  // 0 or 1
+    const std::int64_t shift2 = lo - lo2;  // 0, 1 or 2
+
+    std::span<Score> h_cur = buf_.h[static_cast<std::size_t>(s & 1)];
+    std::span<Score> h_prev = buf_.h[static_cast<std::size_t>((s ^ 1) & 1)];
+
+    std::uint8_t* bt_row = ctx_.wram.raw(buf_.bt_row_addr, row_bytes);
+    if (traceback_on_) std::memset(bt_row, 0, row_bytes);
+
+    Score i_carry = kNegInf;   // I_prev[k-1] before it was overwritten
+    Score h2_carry = kNegInf;  // H_prev2[k-1] before it was overwritten
+
+    for (std::int64_t k = 0; k < w; ++k) {
+      const std::int64_t i = lo + k;
+      const std::int64_t j = s - i;
+      const Score old_h2 = h_cur[static_cast<std::size_t>(k)];
+      const Score old_i = buf_.iv[static_cast<std::size_t>(k)];
+
+      Score h = kNegInf;
+      Score new_i = kNegInf;
+      Score new_d = kNegInf;
+      std::uint8_t code = 0;
+
+      if (i >= i_min && i <= i_max) {
+        if (i == 0 && j == 0) {
+          h = 0;
+        } else if (i == 0) {
+          h = -sc.gap_cost(static_cast<std::uint64_t>(j));
+          new_d = h;
+        } else if (j == 0) {
+          h = -sc.gap_cost(static_cast<std::uint64_t>(i));
+          new_i = h;
+        } else {
+          // Neighbour reads; in-place arrays are resolved via the carries.
+          const std::int64_t k_up = k + shift1 - 1;
+          const std::int64_t k_left = k + shift1;
+          const Score h_up = (k_up >= 0 && k_up < w)
+                                 ? h_prev[static_cast<std::size_t>(k_up)]
+                                 : kNegInf;
+          const Score h_left = (k_left >= 0 && k_left < w)
+                                   ? h_prev[static_cast<std::size_t>(k_left)]
+                                   : kNegInf;
+          Score i_up;
+          if (shift1 == 0) {
+            i_up = (k == 0) ? kNegInf : i_carry;
+          } else {
+            i_up = old_i;
+          }
+          Score d_left;
+          if (shift1 == 0) {
+            d_left = buf_.dv[static_cast<std::size_t>(k)];
+          } else {
+            d_left = (k + 1 < w) ? buf_.dv[static_cast<std::size_t>(k + 1)]
+                                 : kNegInf;
+          }
+          Score h_diag_prev;
+          if (shift2 == 0) {
+            h_diag_prev = (k == 0) ? kNegInf : h2_carry;
+          } else if (shift2 == 1) {
+            h_diag_prev = old_h2;
+          } else {
+            h_diag_prev = (k + 1 < w)
+                              ? h_cur[static_cast<std::size_t>(k + 1)]
+                              : kNegInf;
+          }
+
+          const bool equal =
+              buf_.win_a.base(i - 1) == buf_.win_b.base(j - 1);
+
+          const Score i_ext = i_up - sc.gap_extend;
+          const Score i_opn = h_up - open_ext;
+          const bool i_open = i_opn >= i_ext;
+          new_i = i_open ? i_opn : i_ext;
+
+          const Score d_ext = d_left - sc.gap_extend;
+          const Score d_opn = h_left - open_ext;
+          const bool d_open = d_opn >= d_ext;
+          new_d = d_open ? d_opn : d_ext;
+
+          const Score h_diag = h_diag_prev + sc.sub(equal);
+          std::uint8_t origin;
+          if (h_diag >= new_i && h_diag >= new_d) {
+            h = h_diag;
+            origin = equal ? align::bt::kOriginDiagMatch
+                           : align::bt::kOriginDiagMismatch;
+          } else if (new_i >= new_d) {
+            h = new_i;
+            origin = align::bt::kOriginI;
+          } else {
+            h = new_d;
+            origin = align::bt::kOriginD;
+          }
+          code = align::bt::make(origin, i_open, d_open);
+        }
+      }
+
+      if (traceback_on_) {
+        align::bt_store(bt_row, static_cast<std::uint64_t>(k), code);
+      }
+      h_cur[static_cast<std::size_t>(k)] = h;
+      buf_.iv[static_cast<std::size_t>(k)] = new_i;
+      buf_.dv[static_cast<std::size_t>(k)] = new_d;
+      i_carry = old_i;
+      h2_carry = old_h2;
+    }
+
+    // Charge the anti-diagonal: w cells split across the pool's tasklets,
+    // master bookkeeping, and the pool barrier.
+    pool_.balanced_step(static_cast<std::uint64_t>(w) * cell_instr, tasklets_);
+    pool_.balanced_step(
+        static_cast<std::uint64_t>(cost_.barrier_instr) *
+            static_cast<std::uint64_t>(tasklets_),
+        tasklets_);
+    pool_.serial(cost_.antidiag_master_instr);
+
+    if (traceback_on_) {
+      dma_write_chunked(ctx_, pool_, buf_.bt_row_addr,
+                        rows_off + static_cast<std::uint64_t>(s) * row_bytes,
+                        row_bytes);
+    }
+
+    if (s == m + n) break;
+
+    const Score top_score = (i_min <= i_max)
+                                ? h_cur[static_cast<std::size_t>(i_min - lo)]
+                                : kNegInf;
+    const Score bottom_score =
+        (i_min <= i_max) ? h_cur[static_cast<std::size_t>(i_max - lo)]
+                         : kNegInf;
+    const bool down =
+        align::adaptive_move_down(lo, s, m, n, w, top_score, bottom_score);
+    lo2 = lo1;
+    lo1 = lo;
+    lo += down ? 1 : 0;
+  }
+
+  // Flush the tail of the lo staging buffer (padded to 8 bytes).
+  if (traceback_on_ && lo_staged_ > 0) {
+    const std::uint64_t bytes = align8(lo_staged_ * 4);
+    ctx_.mram_write(buf_.lo_buf_addr, lo_area() + lo_flushed_ * 4, bytes);
+    pool_.dma(bytes);
+    lo_flushed_ += lo_staged_;
+    lo_staged_ = 0;
+  }
+
+  final_lo_ = lo;
+  const std::int64_t k_final = m - lo;
+  if (k_final < 0 || k_final >= w) {
+    reached_ = false;
+    return;
+  }
+  final_score_ =
+      buf_.h[static_cast<std::size_t>((m + n) & 1)]
+            [static_cast<std::size_t>(k_final)];
+  reached_ = final_score_ > kNegInf / 2;
+}
+
+dna::Cigar PairAligner::traceback(std::int64_t m, std::int64_t n) {
+  const std::int64_t w = batch_.header.band_width;
+  const std::uint64_t row_bytes = bt_row_bytes(w);
+  const std::uint64_t rows_off = rows_area(m + n + 1);
+
+  auto lo_of = [&](std::int64_t s) -> std::int64_t {
+    if (tb_lo_base_ < 0 || s < tb_lo_base_ ||
+        s >= tb_lo_base_ + static_cast<std::int64_t>(kTbLoCache)) {
+      // Fetch the cache block ending at s (the walk moves downward). The
+      // start is rounded down to an even entry for DMA alignment, so leave
+      // one slot of headroom to keep s inside the kTbLoCache window.
+      const std::int64_t base = std::max<std::int64_t>(
+          0, s - static_cast<std::int64_t>(kTbLoCache) + 2);
+      const std::int64_t aligned_base = base & ~std::int64_t{1};
+      const std::uint64_t count = kTbLoCache;
+      ctx_.mram_read(lo_area() + static_cast<std::uint64_t>(aligned_base) * 4,
+                     buf_.tb_lo_addr, align8(count * 4));
+      pool_.dma(align8(count * 4));
+      tb_lo_base_ = aligned_base;
+    }
+    return buf_.tb_lo[static_cast<std::size_t>(s - tb_lo_base_)];
+  };
+
+  auto row_cache = [&](std::int64_t s) -> const std::uint8_t* {
+    if (tb_rows_base_ < 0 || s < tb_rows_base_ ||
+        s >= tb_rows_base_ + static_cast<std::int64_t>(kTbCacheRows)) {
+      const std::int64_t base = std::max<std::int64_t>(
+          0, s - static_cast<std::int64_t>(kTbCacheRows) + 1);
+      const std::uint64_t bytes = kTbCacheRows * row_bytes;
+      dma_read_chunked(ctx_, pool_,
+                       rows_off + static_cast<std::uint64_t>(base) * row_bytes,
+                       buf_.tb_rows_addr, bytes);
+      tb_rows_base_ = base;
+    }
+    return ctx_.wram.raw(
+        buf_.tb_rows_addr +
+            static_cast<std::uint64_t>(s - tb_rows_base_) * row_bytes,
+        row_bytes);
+  };
+
+  return align::traceback_affine(
+      m, n, [&](std::int64_t i, std::int64_t j) -> std::uint8_t {
+        const std::int64_t s = i + j;
+        const std::int64_t k = i - lo_of(s);
+        PIMNW_DCHECK(k >= 0 && k < w);
+        return align::bt_load(row_cache(s), static_cast<std::uint64_t>(k));
+      });
+}
+
+void PairAligner::emit_run(const PairEntry& pair, dna::CigarOp op,
+                           std::uint32_t len) {
+  if (cigar_overflow_) return;
+  if (runs_flushed_ + runs_staged_ >= pair.cigar_cap) {
+    cigar_overflow_ = true;
+    return;
+  }
+  buf_.run_buf[runs_staged_++] = encode_cigar_run(op, len);
+  if (runs_staged_ == kRunChunk) flush_runs(pair, false);
+}
+
+void PairAligner::flush_runs(const PairEntry& pair, bool final_flush) {
+  if (cigar_overflow_ || runs_staged_ == 0) return;
+  std::uint32_t flush_count = runs_staged_;
+  if (!final_flush) {
+    flush_count &= ~1u;  // keep writes 8-byte aligned mid-stream
+    if (flush_count == 0) return;
+  }
+  const std::uint64_t bytes = align8(flush_count * 4);
+  ctx_.mram_write(buf_.run_buf_addr, pair.cigar_off + runs_flushed_ * 4,
+                  bytes);
+  pool_.dma(bytes);
+  runs_flushed_ += flush_count;
+  if (flush_count < runs_staged_) {
+    buf_.run_buf[0] = buf_.run_buf[flush_count];
+    runs_staged_ -= flush_count;
+  } else {
+    runs_staged_ = 0;
+  }
+}
+
+void PairAligner::write_result(std::uint32_t pair_index,
+                               const PairResult& result) {
+  // Stage the 16-byte result in WRAM (reuse the run buffer) and DMA it out.
+  std::memcpy(buf_.run_buf.data(), &result, sizeof(PairResult));
+  ctx_.mram_write(buf_.run_buf_addr,
+                  batch_.header.result_off + pair_index * sizeof(PairResult),
+                  sizeof(PairResult));
+  pool_.dma(sizeof(PairResult));
+}
+
+}  // namespace
+
+void NwDpuProgram::run(DpuContext& ctx) {
+  // Boot: parse the batch header.
+  Batch batch;
+  batch.scratch_ = ctx.wram.alloc(128);
+  ctx.mram_read(0, batch.scratch_, align8(sizeof(BatchHeader)));
+  ctx.cost.pool(0).dma(align8(sizeof(BatchHeader)));
+  std::memcpy(&batch.header, ctx.wram.raw(batch.scratch_, sizeof(BatchHeader)),
+              sizeof(BatchHeader));
+  PIMNW_CHECK_MSG(batch.header.magic == kBatchMagic,
+                  "DPU launched on a bank without a batch image");
+  batch.scoring = align::Scoring{
+      .match = batch.header.match,
+      .mismatch = batch.header.mismatch,
+      .gap_open = batch.header.gap_open,
+      .gap_extend = batch.header.gap_extend,
+  };
+
+  const int pools = pool_config_.pools;
+  const int tasklets = pool_config_.tasklets_per_pool;
+  std::vector<PoolBuffers> buffers(static_cast<std::size_t>(pools));
+  for (int p = 0; p < pools; ++p) {
+    ctx.cost.pool(p).serial(cost_.launch_setup_instr);
+    buffers[static_cast<std::size_t>(p)].allocate(
+        ctx, ctx.cost.pool(p), batch.header.band_width);
+  }
+
+  // Work distribution (§4.2.3): each pool grabs the next pair as soon as it
+  // finishes its current one; the cost model tells us which pool that is.
+  for (std::uint32_t pair_index = 0; pair_index < batch.header.nr_pairs;
+       ++pair_index) {
+    const int p = ctx.cost.least_loaded_pool();
+    upmem::PoolCost& pool = ctx.cost.pool(p);
+    const PairEntry pair = batch.pair_entry(ctx, pool, pair_index);
+    PairAligner aligner(ctx, pool, buffers[static_cast<std::size_t>(p)],
+                        batch, cost_, tasklets, p);
+    aligner.align(pair, pair_index);
+  }
+}
+
+}  // namespace pimnw::core

@@ -1,0 +1,38 @@
+// The DPU alignment kernel (paper §4.2) — the program every DPU runs.
+//
+// Structure mirrors the paper's kernel:
+//  * P pools of T tasklets align P pairs concurrently (§4.2.3). Pairs are
+//    pulled from the batch's work list by whichever pool frees up first.
+//  * Score state is four anti-diagonal arrays of width w in WRAM (§4.2.1),
+//    updated in place with carry registers (ascending-offset sweep).
+//  * Sequences are read from MRAM through sliding 2-bit-packed WRAM windows
+//    (§4.1.1), refilled by DMA as the band advances.
+//  * Traceback state (4-bit BT rows + window origin per anti-diagonal) is
+//    streamed to a per-pool MRAM scratch area (§4.2.2), then walked
+//    backwards by the pool's master tasklet to emit a run-length CIGAR.
+//
+// The kernel's arithmetic, tie-breaking and window steering are identical to
+// align::banded_adaptive — tests assert bit-identical scores and CIGARs.
+// Timing comes from the instruction budgets in dpu_cost.hpp charged to the
+// DPU cost model.
+#pragma once
+
+#include "core/dpu_cost.hpp"
+#include "core/params.hpp"
+#include "upmem/dpu.hpp"
+
+namespace pimnw::core {
+
+class NwDpuProgram : public upmem::DpuProgram {
+ public:
+  NwDpuProgram(PoolConfig pool_config, KernelVariant variant)
+      : pool_config_(pool_config), cost_(kernel_cost(variant)) {}
+
+  void run(upmem::DpuContext& ctx) override;
+
+ private:
+  PoolConfig pool_config_;
+  KernelCost cost_;
+};
+
+}  // namespace pimnw::core

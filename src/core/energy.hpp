@@ -1,0 +1,29 @@
+// Power/energy model (paper §5.6, Table 8) and the cost paragraph's
+// constants. Power figures follow the methodology of Falevoz & Legriel
+// (Euro-Par 2023 workshops) as used by the paper: whole-system estimates
+// including CPU, DIMMs, chassis, fans and PSU.
+#pragma once
+
+namespace pimnw::core {
+
+struct PowerModel {
+  /// Dual-socket Intel Xeon Silver 4215 server.
+  double intel4215_watts = 307.0;
+  /// Dual-socket Intel Xeon Silver 4216 server.
+  double intel4216_watts = 337.0;
+  /// The 4215 server plus 20 PiM DIMMs (+460 W).
+  double upmem_server_watts = 767.0;
+};
+
+/// Energy in kilojoules for a run of `seconds` at `watts`.
+inline double energy_kj(double watts, double seconds) {
+  return watts * seconds / 1000.0;
+}
+
+/// §5.6 cost paragraph: server and PiM-DIMM prices (EUR).
+struct CostModel {
+  double intel4216_server_eur = 11000.0;
+  double pim_dimms_eur = 9000.0;
+};
+
+}  // namespace pimnw::core

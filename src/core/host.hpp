@@ -1,0 +1,102 @@
+// Host orchestrator (paper §4.1): the public entry point of the PiM aligner.
+//
+// Pairwise mode (Tables 2–4, 6) follows the paper's main loop: read/encode
+// groups of pairs, split them into rank-sized batches pushed to a FIFO,
+// LPT-balance each batch across the 64 DPUs of whichever rank frees up
+// first, transfer, launch, collect. All-vs-all mode (Table 5) broadcasts the
+// sequence pool once and statically splits the quadratic pair list.
+//
+// Time is modeled, not measured: DPU execution comes from the simulator's
+// cycle accounting, transfers from the 60 GB/s bus model, host pre/post
+// processing from HostCost, composed on an event timeline where transfers
+// serialise with their target rank and with each other (one DDR channel
+// pool) while distinct ranks execute concurrently.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/result.hpp"
+#include "core/dpu_cost.hpp"
+#include "core/params.hpp"
+#include "upmem/system.hpp"
+
+namespace pimnw::core {
+
+struct PairInput {
+  std::string_view a;
+  std::string_view b;
+};
+
+struct PairOutput {
+  align::Score score = align::kNegInf;
+  bool ok = false;  // false when the band never reached (m, n)
+  dna::Cigar cigar;
+  /// Pool-critical-path DPU cycles this pair cost (from the kernel's cost
+  /// accounting) and its DPU-internal DMA traffic — inputs to the
+  /// scale-out projection (core/projection.hpp).
+  std::uint64_t dpu_pool_cycles = 0;
+  std::uint32_t dpu_dma_bytes = 0;
+};
+
+/// Everything the benches need to reproduce the paper's measurements.
+struct RunReport {
+  double makespan_seconds = 0.0;  // modeled end-to-end wall time
+  double transfer_seconds = 0.0;  // total host<->MRAM bus time
+  double host_prep_seconds = 0.0; // modeled encode/dispatch/decode time
+  /// Fraction of the makespan not covered by DPU execution on the critical
+  /// rank (the paper's "overhead of the host orchestration", §5: 15% on
+  /// S1000 down to <0.1% on S30000).
+  double host_overhead_fraction = 0.0;
+  double mean_pipeline_utilization = 0.0;  // §5: 95–99%
+  double mean_mram_overhead = 0.0;         // §5: 1–5%
+  /// Mean over batches of (slowest DPU load / mean DPU load) — the rank
+  /// barrier penalty the LPT balancer minimises (§4.1.2).
+  double load_imbalance = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t bytes_to_dpus = 0;
+  std::uint64_t bytes_from_dpus = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t total_dma_bytes = 0;
+};
+
+class PimAligner {
+ public:
+  explicit PimAligner(PimAlignerConfig config);
+
+  const PimAlignerConfig& config() const { return config_; }
+
+  /// Align each (a, b) pair. When `out` is non-null it receives one
+  /// PairOutput per input pair (same order).
+  RunReport align_pairs(std::span<const PairInput> pairs,
+                        std::vector<PairOutput>* out);
+
+  /// All-against-all comparison of `seqs` (the 16S phylogeny experiment):
+  /// broadcast the dataset, statically split the k·(k-1)/2 pairs over all
+  /// DPUs (score-only in the paper; traceback honours the config).
+  /// `out[linear(i,j)]` receives the result of pair (i, j), i < j, with
+  /// linear(i,j) enumerating pairs row-major (see linear_pair_index).
+  RunReport align_all_vs_all(std::span<const std::string> seqs,
+                             std::vector<PairOutput>* out);
+
+  /// Align every pair within each set (the PacBio consensus pre-step,
+  /// §5.4): whole sets are LPT-dispatched to DPUs so each read's packed
+  /// bases cross the bus once per set instead of once per pair.
+  /// `out[s]` receives the set's pair results, enumerated row-major
+  /// ((0,1),(0,2),...,(1,2),...) like linear_pair_index.
+  RunReport align_sets(std::span<const std::vector<std::string>> sets,
+                       std::vector<std::vector<PairOutput>>* out);
+
+  /// Linear index of pair (i, j), i < j, within align_all_vs_all results.
+  static std::size_t linear_pair_index(std::size_t i, std::size_t j,
+                                       std::size_t count);
+
+ private:
+  PimAlignerConfig config_;
+  HostCost host_cost_ = kDefaultHostCost;
+};
+
+}  // namespace pimnw::core

@@ -1,0 +1,83 @@
+#include "core/load_balance.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace pimnw::core {
+
+std::uint64_t Assignment::max_load() const {
+  std::uint64_t max = 0;
+  for (std::uint64_t load : bin_load) max = std::max(max, load);
+  return max;
+}
+
+std::uint64_t Assignment::min_nonempty_load() const {
+  std::uint64_t min = ~std::uint64_t{0};
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (!bins[b].empty()) min = std::min(min, bin_load[b]);
+  }
+  return min == ~std::uint64_t{0} ? 0 : min;
+}
+
+double Assignment::imbalance() const {
+  std::uint64_t total = 0;
+  int nonempty = 0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    total += bin_load[b];
+    if (!bins[b].empty()) ++nonempty;
+  }
+  if (nonempty == 0 || total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(bins.size());
+  return static_cast<double>(max_load()) / mean;
+}
+
+Assignment lpt_assign(std::vector<WorkItem> items, int bins) {
+  PIMNW_CHECK_MSG(bins >= 1, "need at least one bin");
+  Assignment out;
+  out.bins.resize(static_cast<std::size_t>(bins));
+  out.bin_load.assign(static_cast<std::size_t>(bins), 0);
+
+  std::stable_sort(items.begin(), items.end(),
+                   [](const WorkItem& a, const WorkItem& b) {
+                     return a.workload > b.workload;
+                   });
+
+  // Min-heap of (load, bin); ties resolved toward the lower bin index so the
+  // assignment is deterministic.
+  using HeapEntry = std::pair<std::uint64_t, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (int b = 0; b < bins; ++b) heap.emplace(0, b);
+
+  for (const WorkItem& item : items) {
+    auto [load, b] = heap.top();
+    heap.pop();
+    out.bins[static_cast<std::size_t>(b)].push_back(item);
+    out.bin_load[static_cast<std::size_t>(b)] = load + item.workload;
+    heap.emplace(load + item.workload, b);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> static_split(
+    std::uint64_t count, int bins) {
+  PIMNW_CHECK_MSG(bins >= 1, "need at least one bin");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  ranges.reserve(static_cast<std::size_t>(bins));
+  const std::uint64_t ubins = static_cast<std::uint64_t>(bins);
+  const std::uint64_t base = count / ubins;
+  const std::uint64_t extra = count % ubins;
+  std::uint64_t first = 0;
+  for (std::uint64_t b = 0; b < ubins; ++b) {
+    const std::uint64_t len = base + (b < extra ? 1 : 0);
+    ranges.emplace_back(first, first + len);
+    first += len;
+  }
+  return ranges;
+}
+
+}  // namespace pimnw::core

@@ -1,0 +1,48 @@
+// Workload estimation and distribution (paper §4.1.2).
+//
+// The workload of aligning sequences of lengths m and n inside a band of
+// width w is W(m,n) = (m+n)·w (the banded DP's cell count). Pairs are
+// dispatched to the 64 DPUs of a rank with the classic LPT heuristic: sort
+// by decreasing workload, repeatedly give the heaviest remaining pair to the
+// least-loaded DPU. LPT guarantees makespan <= (4/3 - 1/3k)·OPT and is cheap
+// enough to run per batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pimnw::core {
+
+struct WorkItem {
+  std::uint32_t id = 0;        // caller-defined (pair index, set index, ...)
+  std::uint64_t workload = 0;  // W(m,n) or any additive cost estimate
+};
+
+/// Paper equation (6).
+inline std::uint64_t pair_workload(std::uint64_t m, std::uint64_t n,
+                                   std::uint64_t band_width) {
+  return (m + n) * band_width;
+}
+
+struct Assignment {
+  /// bins[b] = items assigned to bin b (DPU b), in assignment order.
+  std::vector<std::vector<WorkItem>> bins;
+  /// Cumulative workload per bin.
+  std::vector<std::uint64_t> bin_load;
+
+  std::uint64_t max_load() const;
+  std::uint64_t min_nonempty_load() const;
+  /// max_load / mean_load over non-empty bins — 1.0 is perfect balance.
+  double imbalance() const;
+};
+
+/// LPT assignment of `items` into `bins` bins.
+Assignment lpt_assign(std::vector<WorkItem> items, int bins);
+
+/// Contiguous static split of `count` items into `bins` near-equal ranges
+/// (the 16S broadcast mode's "simple static assignment", §5.3). Returns
+/// [first, last) index per bin.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> static_split(
+    std::uint64_t count, int bins);
+
+}  // namespace pimnw::core

@@ -1,0 +1,190 @@
+#include "core/mram_layout.hpp"
+
+#include <cstring>
+
+#include "dna/packed_sequence.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::core {
+namespace {
+
+std::uint64_t align8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
+
+/// Bytes of one nibble-packed BT row (one anti-diagonal), DMA-aligned.
+std::uint64_t bt_row_bytes(std::int64_t band_width) {
+  return align8(static_cast<std::uint64_t>(band_width + 1) / 2);
+}
+
+}  // namespace
+
+std::uint32_t encode_cigar_run(dna::CigarOp op, std::uint32_t len) {
+  PIMNW_DCHECK(len < (1u << kCigarLenBits));
+  return (static_cast<std::uint32_t>(op) << kCigarLenBits) | len;
+}
+
+dna::CigarOp decode_cigar_op(std::uint32_t run) {
+  return static_cast<dna::CigarOp>(run >> kCigarLenBits);
+}
+
+std::uint32_t decode_cigar_len(std::uint32_t run) {
+  return run & ((1u << kCigarLenBits) - 1);
+}
+
+SeqPool SeqPool::build(std::span<const std::string_view> seqs) {
+  SeqPool pool;
+  pool.entries_.reserve(seqs.size());
+  std::uint64_t off = 0;
+  for (const std::string_view seq : seqs) {
+    off = align8(off);
+    pool.entries_.push_back(
+        {off, static_cast<std::uint32_t>(seq.size())});
+    off += dna::PackedSequence::bytes_for(seq.size());
+  }
+  pool.data_.assign(align8(off), 0);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const dna::PackedSequence packed = dna::PackedSequence::pack(seqs[i]);
+    std::memcpy(pool.data_.data() + pool.entries_[i].offset,
+                packed.bytes().data(), packed.bytes().size());
+  }
+  return pool;
+}
+
+const SeqPool::Entry& SeqPool::entry(std::uint32_t i) const {
+  PIMNW_CHECK_MSG(i < entries_.size(), "sequence index " << i
+                                                         << " out of pool");
+  return entries_[i];
+}
+
+MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
+                           const AlignConfig& config, const PoolConfig& pools,
+                           std::optional<std::uint64_t> pool_mram_offset) {
+  const std::uint32_t nr_pairs = static_cast<std::uint32_t>(batch.pairs.size());
+  const std::uint32_t nr_seqs = pool.size();
+
+  BatchHeader header{};
+  header.magic = kBatchMagic;
+  header.nr_seqs = nr_seqs;
+  header.nr_pairs = nr_pairs;
+  header.band_width = static_cast<std::int32_t>(config.band_width);
+  header.flags = config.traceback ? kFlagTraceback : 0;
+  header.match = config.scoring.match;
+  header.mismatch = config.scoring.mismatch;
+  header.gap_open = config.scoring.gap_open;
+  header.gap_extend = config.scoring.gap_extend;
+
+  header.seq_table_off = sizeof(BatchHeader);
+  header.pair_table_off =
+      align8(header.seq_table_off + nr_seqs * sizeof(SeqEntry));
+  std::uint64_t cursor =
+      align8(header.pair_table_off + nr_pairs * sizeof(PairEntry));
+
+  // Sequence pool: inline (per-DPU mode) or broadcast (16S mode).
+  std::uint64_t seq_base;
+  const bool inline_pool = !pool_mram_offset.has_value();
+  if (inline_pool) {
+    seq_base = cursor;
+    cursor = align8(cursor + pool.bytes().size());
+  } else {
+    seq_base = *pool_mram_offset;
+  }
+
+  header.result_off = cursor;
+  cursor += static_cast<std::uint64_t>(nr_pairs) * sizeof(PairResult);
+
+  // CIGAR slots. Worst case every alignment column is its own run.
+  header.cigar_off = cursor;
+  std::vector<std::uint64_t> cigar_offs(nr_pairs);
+  std::vector<std::uint32_t> cigar_caps(nr_pairs);
+  std::uint64_t max_diags = 1;
+  for (std::uint32_t p = 0; p < nr_pairs; ++p) {
+    const auto& pr = batch.pairs[p];
+    const std::uint64_t m = pool.entry(pr.seq_a).length;
+    const std::uint64_t n = pool.entry(pr.seq_b).length;
+    max_diags = std::max(max_diags, m + n + 1);
+    std::uint32_t cap = 0;
+    if (config.traceback) {
+      cap = static_cast<std::uint32_t>(m + n + 2);
+    }
+    cigar_offs[p] = cursor;
+    cigar_caps[p] = cap;
+    cursor = align8(cursor + static_cast<std::uint64_t>(cap) * 4);
+  }
+  const std::uint64_t readback_end = cursor;
+
+  // BT scratch: one slice per pool, sized for the largest pair of the batch.
+  header.bt_scratch_off = cursor;
+  if (config.traceback && nr_pairs > 0) {
+    const std::uint64_t lo_bytes = align8(max_diags * 4);
+    const std::uint64_t rows_bytes =
+        max_diags * bt_row_bytes(config.band_width);
+    header.bt_scratch_stride = align8(lo_bytes + rows_bytes);
+  } else {
+    header.bt_scratch_stride = 0;
+  }
+  cursor += header.bt_scratch_stride * static_cast<std::uint64_t>(pools.pools);
+  header.total_bytes = cursor;
+
+  PIMNW_CHECK_MSG(cursor <= upmem::kMramBytes,
+                  "DPU batch needs " << cursor << " bytes of MRAM (64 MB "
+                                        "bank); shrink the batch");
+  if (!inline_pool) {
+    PIMNW_CHECK_MSG(header.total_bytes <= *pool_mram_offset,
+                    "batch control region ("
+                        << header.total_bytes
+                        << " bytes) collides with the broadcast pool at "
+                        << *pool_mram_offset);
+    PIMNW_CHECK_MSG(*pool_mram_offset + pool.bytes().size() <=
+                        upmem::kMramBytes,
+                    "broadcast pool overflows the bank");
+  }
+
+  // Serialize everything up to (and including) the inline sequence pool.
+  MramImage image;
+  const std::uint64_t written_bytes = inline_pool
+                                          ? align8(seq_base + pool.bytes().size())
+                                          : header.result_off;
+  image.bytes.assign(written_bytes, 0);
+  std::memcpy(image.bytes.data(), &header, sizeof(header));
+
+  for (std::uint32_t s = 0; s < nr_seqs; ++s) {
+    SeqEntry entry{};
+    entry.data_off = seq_base + pool.entry(s).offset;
+    entry.length = pool.entry(s).length;
+    std::memcpy(image.bytes.data() + header.seq_table_off +
+                    s * sizeof(SeqEntry),
+                &entry, sizeof(entry));
+  }
+  for (std::uint32_t p = 0; p < nr_pairs; ++p) {
+    const auto& pr = batch.pairs[p];
+    PIMNW_CHECK_MSG(pr.seq_a < nr_seqs && pr.seq_b < nr_seqs,
+                    "pair " << p << " references sequences out of the pool");
+    PairEntry entry{};
+    entry.seq_a = pr.seq_a;
+    entry.seq_b = pr.seq_b;
+    entry.global_id = pr.global_id;
+    entry.cigar_cap = cigar_caps[p];
+    entry.cigar_off = cigar_offs[p];
+    std::memcpy(image.bytes.data() + header.pair_table_off +
+                    p * sizeof(PairEntry),
+                &entry, sizeof(entry));
+  }
+  if (inline_pool && !pool.bytes().empty()) {
+    std::memcpy(image.bytes.data() + seq_base, pool.bytes().data(),
+                pool.bytes().size());
+  }
+
+  image.result_off = header.result_off;
+  image.readback_bytes = readback_end - header.result_off;
+  image.total_bytes = cursor;
+  return image;
+}
+
+dna::Cigar decode_cigar(std::span<const std::uint32_t> reversed_runs) {
+  dna::Cigar cigar;
+  for (auto it = reversed_runs.rbegin(); it != reversed_runs.rend(); ++it) {
+    cigar.push(decode_cigar_op(*it), decode_cigar_len(*it));
+  }
+  return cigar;
+}
+
+}  // namespace pimnw::core

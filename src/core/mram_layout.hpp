@@ -1,0 +1,153 @@
+// MRAM batch layout shared by the host serializer and the DPU kernel.
+//
+// Per-DPU MRAM image (offsets 8-byte aligned):
+//
+//   [ BatchHeader ]
+//   [ SeqEntry  x nr_seqs  ]   sequence table
+//   [ PairEntry x nr_pairs ]   work list (descriptor per alignment)
+//   [ PairResult x nr_pairs ]  written by the DPU, read back by the host
+//   [ cigar area ]             reversed run-length CIGARs, per-pair slots
+//   [ BT scratch x pools ]     traceback scratch, reused across pairs
+//   [ sequence pool ]          2-bit packed bases (per-DPU mode), or absent
+//                              when the pool is broadcast (16S mode, §5.3)
+//
+// The host writes everything up to the results region in one transfer; the
+// results + cigar regions come back in one transfer. BT scratch is
+// DPU-private and never crosses the bus — exactly the traffic pattern the
+// paper's host program produces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/params.hpp"
+#include "dna/cigar.hpp"
+
+namespace pimnw::core {
+
+inline constexpr std::uint64_t kBatchMagic = 0x50494D4E5744424CULL;
+
+/// MRAM offset where a broadcast sequence pool lives (upper half of the
+/// bank); per-DPU batch images occupy the lower half.
+inline constexpr std::uint64_t kBroadcastPoolOffset = 32ull * 1024 * 1024;
+
+struct BatchHeader {
+  std::uint64_t magic;
+  std::uint32_t nr_seqs;
+  std::uint32_t nr_pairs;
+  std::int32_t band_width;
+  std::uint32_t flags;  // bit 0: traceback
+  std::int32_t match;
+  std::int32_t mismatch;
+  std::int32_t gap_open;
+  std::int32_t gap_extend;
+  std::uint64_t seq_table_off;
+  std::uint64_t pair_table_off;
+  std::uint64_t result_off;
+  std::uint64_t cigar_off;
+  std::uint64_t bt_scratch_off;
+  std::uint64_t bt_scratch_stride;  // bytes per pool
+  std::uint64_t total_bytes;
+};
+static_assert(sizeof(BatchHeader) == 96);
+
+inline constexpr std::uint32_t kFlagTraceback = 1u;
+
+struct SeqEntry {
+  std::uint64_t data_off;  // absolute MRAM offset of the packed bases
+  std::uint32_t length;    // in bases
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(SeqEntry) == 16);
+
+struct PairEntry {
+  std::uint32_t seq_a;      // index into the sequence table
+  std::uint32_t seq_b;
+  std::uint32_t global_id;  // the host's pair identifier
+  std::uint32_t cigar_cap;  // capacity of this pair's cigar slot, in runs
+  std::uint64_t cigar_off;  // absolute MRAM offset of the slot
+};
+static_assert(sizeof(PairEntry) == 24);
+
+/// Result status codes.
+inline constexpr std::uint32_t kStatusOk = 0;
+inline constexpr std::uint32_t kStatusUnreachable = 1;  // band missed (m,n)
+inline constexpr std::uint32_t kStatusCigarOverflow = 2;
+
+struct PairResult {
+  std::int32_t score;
+  std::uint32_t status;
+  std::uint32_t cigar_runs;  // number of runs written (reversed order)
+  /// Pool-critical-path cycles this pair cost its pool (measured by the
+  /// kernel's cost accounting; feeds the scale-out projection, see
+  /// core/projection.hpp).
+  std::uint32_t pool_cycles_lo;
+  std::uint32_t pool_cycles_hi;
+  /// MRAM<->WRAM DMA bytes this pair moved inside the DPU.
+  std::uint32_t dma_bytes;
+};
+static_assert(sizeof(PairResult) == 24);
+
+/// CIGAR run encoding in MRAM: op in the top 2 bits, length below.
+inline constexpr std::uint32_t kCigarLenBits = 30;
+std::uint32_t encode_cigar_run(dna::CigarOp op, std::uint32_t len);
+dna::CigarOp decode_cigar_op(std::uint32_t run);
+std::uint32_t decode_cigar_len(std::uint32_t run);
+
+/// A packed pool of sequences with an offset table — either per-DPU-batch
+/// (pairwise mode) or global (broadcast mode).
+class SeqPool {
+ public:
+  /// Pack `seqs` (ASCII, ACGT only) back to back, 8-byte aligning each.
+  static SeqPool build(std::span<const std::string_view> seqs);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(entries_.size()); }
+  std::span<const std::uint8_t> bytes() const { return data_; }
+
+  struct Entry {
+    std::uint64_t offset;  // pool-relative
+    std::uint32_t length;  // bases
+  };
+  const Entry& entry(std::uint32_t i) const;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::vector<Entry> entries_;
+};
+
+/// Host-side description of the work for one DPU.
+struct DpuBatchInput {
+  struct Pair {
+    std::uint32_t seq_a;
+    std::uint32_t seq_b;
+    std::uint32_t global_id;
+  };
+  std::vector<Pair> pairs;
+};
+
+/// Serialized image plus the addresses the host needs afterwards.
+struct MramImage {
+  std::vector<std::uint8_t> bytes;   // write at MRAM offset 0
+  std::uint64_t result_off = 0;      // results region start
+  std::uint64_t readback_bytes = 0;  // results + cigar regions, contiguous
+  std::uint64_t total_bytes = 0;     // full footprint incl. BT scratch
+};
+
+/// Build the image for one DPU.
+///
+/// `pool` provides the sequences; when `pool_mram_offset` is nullopt the
+/// pool bytes are appended to the image (per-DPU mode), otherwise sequence
+/// offsets point at the given broadcast offset and the pool bytes are NOT
+/// included. Throws CheckError if the footprint exceeds the 64 MB bank.
+MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
+                           const AlignConfig& config, const PoolConfig& pools,
+                           std::optional<std::uint64_t> pool_mram_offset =
+                               std::nullopt);
+
+/// Decode one pair's CIGAR from its (reversed) run slot.
+dna::Cigar decode_cigar(std::span<const std::uint32_t> reversed_runs);
+
+}  // namespace pimnw::core

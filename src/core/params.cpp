@@ -1,0 +1,9 @@
+#include "core/params.hpp"
+
+namespace pimnw::core {
+
+const char* kernel_variant_name(KernelVariant variant) {
+  return variant == KernelVariant::kPureC ? "pure-C" : "asm";
+}
+
+}  // namespace pimnw::core

@@ -1,0 +1,51 @@
+// User-facing configuration of the PiM aligner.
+#pragma once
+
+#include <cstdint>
+
+#include "align/scoring.hpp"
+#include "upmem/arch.hpp"
+
+namespace pimnw::core {
+
+/// Which DPU kernel build to model (paper §5.5 / Table 7): the pure-C kernel
+/// or the one with the 26 hand-written assembly lines (cmpb4 4-byte SIMD
+/// compare + fused shift/jump) in the anti-diagonal update and traceback.
+enum class KernelVariant { kPureC, kAsm };
+
+const char* kernel_variant_name(KernelVariant variant);
+
+/// Tasklet organisation inside each DPU (paper §4.2.3): P pools of T
+/// tasklets align P pairs concurrently. The paper's evaluation uses P=6,
+/// T=4 (24 tasklets, comfortably above the 11 needed for full pipeline use).
+struct PoolConfig {
+  int pools = 6;
+  int tasklets_per_pool = 4;
+
+  int active_tasklets() const { return pools * tasklets_per_pool; }
+};
+
+/// Alignment job parameters.
+struct AlignConfig {
+  align::Scoring scoring = align::default_scoring();
+  /// Adaptive band width on the DPU (the paper runs all experiments at 128).
+  std::int64_t band_width = 128;
+  /// Whether to produce CIGARs (§5.3 runs score-only; §5.2/§5.4 need them).
+  bool traceback = true;
+};
+
+/// Full PiM aligner configuration.
+struct PimAlignerConfig {
+  int nr_ranks = upmem::kDefaultRanks;
+  PoolConfig pool;
+  KernelVariant variant = KernelVariant::kAsm;
+  AlignConfig align;
+  /// Pairs per rank-batch in the FIFO dispatch (0 = pick automatically:
+  /// enough pairs for every pool of every DPU of a rank to see several).
+  std::size_t batch_pairs = 0;
+  /// Re-check every DPU result on the host against the reference
+  /// implementation (slow; used by tests and debugging).
+  bool verify = false;
+};
+
+}  // namespace pimnw::core

@@ -1,0 +1,73 @@
+#include "data/mutate.hpp"
+
+#include "dna/alphabet.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::data {
+
+std::string random_dna(std::size_t length, Xoshiro256& rng) {
+  std::string out(length, '\0');
+  for (char& c : out) {
+    c = dna::decode_base(static_cast<dna::Code>(rng.below(4)));
+  }
+  return out;
+}
+
+char substitute_base(char base, Xoshiro256& rng) {
+  const dna::Code code = dna::encode_base(base);
+  PIMNW_DCHECK(code != 0xff);
+  return dna::decode_base(
+      static_cast<dna::Code>((code + 1 + rng.below(3)) % 4));
+}
+
+std::string mutate(const std::string& seq, const ErrorModel& model,
+                   Xoshiro256& rng) {
+  const double frac_total =
+      model.sub_fraction + model.ins_fraction + model.del_fraction;
+  PIMNW_CHECK_MSG(frac_total > 0, "error fractions must not all be zero");
+  const double sub_cut = model.sub_fraction / frac_total;
+  const double ins_cut = sub_cut + model.ins_fraction / frac_total;
+
+  auto indel_len = [&]() -> std::size_t {
+    std::size_t len = 1;
+    while (model.indel_extend > 0 && rng.chance(model.indel_extend)) ++len;
+    return len;
+  };
+
+  std::string out;
+  out.reserve(seq.size() + seq.size() / 8 + 16);
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    if (model.long_gap_rate > 0 && rng.chance(model.long_gap_rate)) {
+      const std::size_t len = static_cast<std::size_t>(
+          rng.range(static_cast<std::int64_t>(model.long_gap_min),
+                    static_cast<std::int64_t>(model.long_gap_max)));
+      if (rng.chance(0.5)) {
+        // Long insertion: novel bases appear in the read.
+        out += random_dna(len, rng);
+      } else {
+        // Long deletion: skip template bases.
+        i += len;
+      }
+      continue;
+    }
+    if (!rng.chance(model.error_rate)) {
+      out.push_back(seq[i++]);
+      continue;
+    }
+    const double kind = rng.uniform();
+    if (kind < sub_cut) {
+      out.push_back(substitute_base(seq[i], rng));
+      ++i;
+    } else if (kind < ins_cut) {
+      const std::size_t len = indel_len();
+      out.push_back(seq[i++]);
+      out += random_dna(len, rng);
+    } else {
+      i += indel_len();
+    }
+  }
+  return out;
+}
+
+}  // namespace pimnw::data

@@ -1,0 +1,40 @@
+// Shared sequencing-error / mutation model used by every generator.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace pimnw::data {
+
+struct ErrorModel {
+  /// Per-base probability of introducing an error.
+  double error_rate = 0.05;
+  /// Split of errors between substitution / insertion / deletion
+  /// (normalised internally). The WFA generator's defaults lean toward
+  /// substitutions.
+  double sub_fraction = 0.6;
+  double ins_fraction = 0.2;
+  double del_fraction = 0.2;
+  /// Indel length model: 1 + Geometric(indel_extend). 0 = always length 1.
+  double indel_extend = 0.2;
+
+  /// Long structural gaps (the PacBio datasets' ">100 bp gaps", §5):
+  /// per-base probability of a long insertion or deletion, with length
+  /// uniform in [long_gap_min, long_gap_max].
+  double long_gap_rate = 0.0;
+  std::size_t long_gap_min = 100;
+  std::size_t long_gap_max = 500;
+};
+
+/// Apply the error model to `seq`, returning the mutated copy.
+std::string mutate(const std::string& seq, const ErrorModel& model,
+                   Xoshiro256& rng);
+
+/// Uniform random DNA of the given length.
+std::string random_dna(std::size_t length, Xoshiro256& rng);
+
+/// A substituted base: uniform over the three codes differing from `base`.
+char substitute_base(char base, Xoshiro256& rng);
+
+}  // namespace pimnw::data

@@ -1,0 +1,44 @@
+// PacBio-like raw-read sets (paper §5.4): sets of 10–30 noisy reads of the
+// same genomic region, with high error rate and occasional gaps exceeding
+// 100 bp. Each set is pairwise aligned all-against-all (the consensus
+// pre-step); CIGARs are required.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimnw::data {
+
+struct SetDataset {
+  /// sets[s] = the reads of region s. The template region itself is not
+  /// part of the dataset (the sequencer never sees it).
+  std::vector<std::vector<std::string>> sets;
+
+  /// Ground-truth template per set; filled only when
+  /// PacbioConfig::keep_regions is set (used by the consensus example to
+  /// score its output — a real pipeline never has this).
+  std::vector<std::string> regions;
+
+  std::uint64_t total_bases() const;
+  std::uint64_t total_pairs() const;  // sum over sets of k*(k-1)/2
+};
+
+struct PacbioConfig {
+  std::size_t set_count = 50;      // paper: 38512 sets
+  std::size_t region_min = 4000;   // repeated-read regions of a few kb
+  std::size_t region_max = 6000;
+  std::size_t reads_min = 10;      // reads per set (paper: 10..30)
+  std::size_t reads_max = 30;
+  double read_error_rate = 0.12;   // raw PacBio error regime
+  /// Long gaps "exceeding 100 bp" — the feature that caps the adaptive
+  /// band's accuracy at ~85% in Table 1.
+  double long_gap_rate = 3.0e-6;
+  std::uint64_t seed = 42;
+  /// Retain the ground-truth regions in SetDataset::regions.
+  bool keep_regions = false;
+};
+
+SetDataset generate_pacbio(const PacbioConfig& config);
+
+}  // namespace pimnw::data

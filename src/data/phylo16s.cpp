@@ -1,0 +1,75 @@
+#include "data/phylo16s.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "data/mutate.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::data {
+
+std::vector<std::string> generate_16s(const Phylo16sConfig& config) {
+  PIMNW_CHECK_MSG(config.species >= 1, "need at least one species");
+  Xoshiro256 rng(config.seed);
+
+  ErrorModel branch;
+  branch.error_rate = config.branch_error_rate;
+  branch.sub_fraction = 0.8;  // rRNA evolution is substitution-dominated
+  branch.ins_fraction = 0.1;
+  branch.del_fraction = 0.1;
+  branch.indel_extend = 0.5;
+  // Hypervariable-region turnover: moderate 30–50 bp blocks appear/vanish
+  // along branches. Individually trackable by the adaptive window (< w/2 at
+  // w=128) but their accumulation defeats static bands (Table 1's 70% at
+  // static 128 vs 86% adaptive).
+  branch.long_gap_rate = 2.0e-4;
+  branch.long_gap_min = 30;
+  branch.long_gap_max = 50;
+
+  // Rare large rearrangements (150–400 bp): these defeat the adaptive
+  // window too, capping its accuracy below 100% as in the paper.
+  ErrorModel rearrangement;
+  rearrangement.error_rate = 0.0;
+  rearrangement.long_gap_rate = 4.0e-6;
+  rearrangement.long_gap_min = 150;
+  rearrangement.long_gap_max = 400;
+
+  // Evolve a binary tree breadth-first until `species` leaves exist. Each
+  // split mutates the parent along two independent branches whose "length"
+  // (number of mutation rounds) varies, producing a mix of shallow and deep
+  // divergences.
+  std::deque<std::string> population;
+  population.push_back(random_dna(config.root_length, rng));
+  while (population.size() < config.species) {
+    std::string parent = std::move(population.front());
+    population.pop_front();
+    for (int child = 0; child < 2; ++child) {
+      const int rounds = 1 + static_cast<int>(rng.below(3));
+      std::string seq = parent;
+      for (int round = 0; round < rounds; ++round) {
+        seq = mutate(seq, branch, rng);
+        seq = mutate(seq, rearrangement, rng);
+      }
+      population.push_back(std::move(seq));
+    }
+  }
+
+  std::vector<std::string> out(population.begin(),
+                               population.begin() +
+                                   static_cast<std::ptrdiff_t>(config.species));
+
+  // A distant clade: ~10% of species receive many extra mutation rounds,
+  // standing in for the cross-phylum pairs of the curated NCBI dataset whose
+  // alignments defeat every banded heuristic — why the paper's best columns
+  // saturate around 85–86% rather than 100%.
+  const std::size_t outliers = std::max<std::size_t>(1, config.species / 10);
+  for (std::size_t o = 0; o < outliers && o < out.size(); ++o) {
+    for (int round = 0; round < 10; ++round) {
+      out[o] = mutate(out[o], branch, rng);
+      out[o] = mutate(out[o], rearrangement, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace pimnw::data

@@ -1,0 +1,40 @@
+// Synthetic pair datasets S1000 / S10000 / S30000 (paper §5): equivalents
+// of the WFA-paper generator's output — pairs of reads derived from a
+// common random template with a configurable error model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/mutate.hpp"
+
+namespace pimnw::data {
+
+struct PairDataset {
+  std::vector<std::pair<std::string, std::string>> pairs;
+
+  std::uint64_t total_bases() const;
+};
+
+struct SyntheticConfig {
+  std::size_t read_length = 1000;
+  std::size_t pair_count = 1000;
+  /// Read lengths jitter by up to this fraction around read_length.
+  double length_jitter = 0.02;
+  ErrorModel errors;  // both reads of a pair are mutated from the template
+  std::uint64_t seed = 1;
+};
+
+PairDataset generate_synthetic(const SyntheticConfig& config);
+
+/// The paper's three synthetic dataset shapes with scaled-down pair counts
+/// (full-scale counts are 10 M / 1 M / 500 k; the benches project up —
+/// DESIGN.md §6). Long structural gaps appear with per-base rates chosen so
+/// the static-band accuracy of Table 1 degrades with read length while the
+/// adaptive band keeps tracking (gap lengths stay below ~w/2 of the DPU's
+/// 128 band).
+SyntheticConfig s1000_config(std::size_t pair_count, std::uint64_t seed = 1);
+SyntheticConfig s10000_config(std::size_t pair_count, std::uint64_t seed = 2);
+SyntheticConfig s30000_config(std::size_t pair_count, std::uint64_t seed = 3);
+
+}  // namespace pimnw::data

@@ -1,0 +1,249 @@
+#include "dna/cigar.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+
+char cigar_op_char(CigarOp op) {
+  switch (op) {
+    case CigarOp::kMatch: return '=';
+    case CigarOp::kMismatch: return 'X';
+    case CigarOp::kInsert: return 'I';
+    case CigarOp::kDelete: return 'D';
+  }
+  return '?';
+}
+
+CigarOp cigar_op_from_char(char c) {
+  switch (c) {
+    case '=': return CigarOp::kMatch;
+    case 'M': return CigarOp::kMatch;  // expanded lazily by validators
+    case 'X': return CigarOp::kMismatch;
+    case 'I': return CigarOp::kInsert;
+    case 'D': return CigarOp::kDelete;
+    default: break;
+  }
+  PIMNW_CHECK_MSG(false, "bad CIGAR op '" << c << "'");
+  return CigarOp::kMatch;  // unreachable
+}
+
+void Cigar::push(CigarOp op, std::uint32_t len) {
+  if (len == 0) return;
+  if (!items_.empty() && items_.back().op == op) {
+    items_.back().len += len;
+  } else {
+    items_.push_back({op, len});
+  }
+}
+
+void Cigar::reverse() { std::reverse(items_.begin(), items_.end()); }
+
+std::uint64_t Cigar::query_span() const {
+  std::uint64_t n = 0;
+  for (const auto& item : items_) {
+    if (item.op != CigarOp::kDelete) n += item.len;
+  }
+  return n;
+}
+
+std::uint64_t Cigar::target_span() const {
+  std::uint64_t n = 0;
+  for (const auto& item : items_) {
+    if (item.op != CigarOp::kInsert) n += item.len;
+  }
+  return n;
+}
+
+std::uint64_t Cigar::columns() const {
+  std::uint64_t n = 0;
+  for (const auto& item : items_) n += item.len;
+  return n;
+}
+
+std::uint64_t Cigar::count(CigarOp op) const {
+  std::uint64_t n = 0;
+  for (const auto& item : items_) {
+    if (item.op == op) n += item.len;
+  }
+  return n;
+}
+
+double Cigar::identity() const {
+  const std::uint64_t cols = columns();
+  if (cols == 0) return 0.0;
+  return static_cast<double>(count(CigarOp::kMatch)) /
+         static_cast<double>(cols);
+}
+
+std::string Cigar::to_string() const {
+  std::ostringstream os;
+  for (const auto& item : items_) os << item.len << cigar_op_char(item.op);
+  return os.str();
+}
+
+Cigar Cigar::parse(std::string_view text) {
+  Cigar out;
+  std::uint64_t len = 0;
+  bool have_len = false;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      len = len * 10 + static_cast<std::uint64_t>(c - '0');
+      PIMNW_CHECK_MSG(len <= UINT32_MAX, "CIGAR length overflow");
+      have_len = true;
+    } else {
+      PIMNW_CHECK_MSG(have_len, "CIGAR op '" << c << "' without a length");
+      out.push(cigar_op_from_char(c), static_cast<std::uint32_t>(len));
+      len = 0;
+      have_len = false;
+    }
+  }
+  PIMNW_CHECK_MSG(!have_len, "trailing length in CIGAR string");
+  return out;
+}
+
+std::string validate_cigar(const Cigar& cigar, std::string_view a,
+                           std::string_view b) {
+  std::size_t i = 0;  // position in a
+  std::size_t j = 0;  // position in b
+  std::ostringstream err;
+  for (const auto& item : cigar.items()) {
+    for (std::uint32_t k = 0; k < item.len; ++k) {
+      switch (item.op) {
+        case CigarOp::kMatch:
+          if (i >= a.size() || j >= b.size()) {
+            err << "match overruns sequences at a[" << i << "] b[" << j << "]";
+            return err.str();
+          }
+          if (a[i] != b[j]) {
+            err << "'=' column with differing bases a[" << i << "]=" << a[i]
+                << " b[" << j << "]=" << b[j];
+            return err.str();
+          }
+          ++i;
+          ++j;
+          break;
+        case CigarOp::kMismatch:
+          if (i >= a.size() || j >= b.size()) {
+            err << "mismatch overruns sequences at a[" << i << "] b[" << j
+                << "]";
+            return err.str();
+          }
+          if (a[i] == b[j]) {
+            err << "'X' column with equal bases at a[" << i << "] b[" << j
+                << "]";
+            return err.str();
+          }
+          ++i;
+          ++j;
+          break;
+        case CigarOp::kInsert:
+          if (i >= a.size()) {
+            err << "insert overruns query at a[" << i << "]";
+            return err.str();
+          }
+          ++i;
+          break;
+        case CigarOp::kDelete:
+          if (j >= b.size()) {
+            err << "delete overruns target at b[" << j << "]";
+            return err.str();
+          }
+          ++j;
+          break;
+      }
+    }
+  }
+  if (i != a.size() || j != b.size()) {
+    err << "cigar spans (" << i << "," << j << ") but sequences are ("
+        << a.size() << "," << b.size() << ")";
+    return err.str();
+  }
+  return std::string();
+}
+
+std::string apply_cigar(const Cigar& cigar, std::string_view a,
+                        std::string_view b) {
+  PIMNW_CHECK_MSG(cigar.query_span() == a.size(),
+                  "cigar query span " << cigar.query_span()
+                                      << " != |a| = " << a.size());
+  PIMNW_CHECK_MSG(cigar.target_span() == b.size(),
+                  "cigar target span " << cigar.target_span()
+                                       << " != |b| = " << b.size());
+  std::string out;
+  out.reserve(b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (const auto& item : cigar.items()) {
+    switch (item.op) {
+      case CigarOp::kMatch:
+        out.append(a.substr(i, item.len));
+        i += item.len;
+        j += item.len;
+        break;
+      case CigarOp::kMismatch:
+        out.append(b.substr(j, item.len));  // substitute with target bases
+        i += item.len;
+        j += item.len;
+        break;
+      case CigarOp::kInsert:
+        i += item.len;  // drop the inserted query bases
+        break;
+      case CigarOp::kDelete:
+        out.append(b.substr(j, item.len));  // re-insert the deleted bases
+        j += item.len;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string render_alignment(const Cigar& cigar, std::string_view a,
+                             std::string_view b, std::size_t width) {
+  PIMNW_CHECK(width > 0);
+  std::string top;
+  std::string mid;
+  std::string bot;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (const auto& item : cigar.items()) {
+    for (std::uint32_t k = 0; k < item.len; ++k) {
+      switch (item.op) {
+        case CigarOp::kMatch:
+          top.push_back(a[i++]);
+          mid.push_back('|');
+          bot.push_back(b[j++]);
+          break;
+        case CigarOp::kMismatch:
+          top.push_back(a[i++]);
+          mid.push_back('.');
+          bot.push_back(b[j++]);
+          break;
+        case CigarOp::kInsert:
+          top.push_back(a[i++]);
+          mid.push_back(' ');
+          bot.push_back('-');
+          break;
+        case CigarOp::kDelete:
+          top.push_back('-');
+          mid.push_back(' ');
+          bot.push_back(b[j++]);
+          break;
+      }
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t off = 0; off < top.size(); off += width) {
+    const std::size_t len = std::min(width, top.size() - off);
+    os << "A: " << top.substr(off, len) << "\n";
+    os << "   " << mid.substr(off, len) << "\n";
+    os << "B: " << bot.substr(off, len) << "\n";
+    if (off + width < top.size()) os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pimnw::dna

@@ -1,0 +1,90 @@
+// CIGAR (Compact Idiosyncratic Gapped Alignment Report) representation —
+// the output format of every aligner in this project (paper §4.2.2).
+//
+// Convention used throughout: the alignment is between a query A (length m)
+// and a target B (length n).
+//   '='  match      — consumes one base of A and one of B, bases equal
+//   'X'  mismatch   — consumes one base of A and one of B, bases differ
+//   'I'  insertion  — consumes one base of A only (A has an extra base)
+//   'D'  deletion   — consumes one base of B only (A lost a base)
+// 'M' (match-or-mismatch) is accepted by the parser and expanded on demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pimnw::dna {
+
+enum class CigarOp : std::uint8_t { kMatch, kMismatch, kInsert, kDelete };
+
+char cigar_op_char(CigarOp op);
+CigarOp cigar_op_from_char(char c);
+
+struct CigarItem {
+  CigarOp op;
+  std::uint32_t len;
+  bool operator==(const CigarItem&) const = default;
+};
+
+class Cigar {
+ public:
+  Cigar() = default;
+
+  /// Append `len` repetitions of `op`, merging with the trailing item when the
+  /// op matches (keeps the representation canonical).
+  void push(CigarOp op, std::uint32_t len = 1);
+
+  /// Prepend-style construction helper for tracebacks that emit operations
+  /// back-to-front: reverse the item order in place.
+  void reverse();
+
+  const std::vector<CigarItem>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+  /// Number of bases of the query (A) consumed.
+  std::uint64_t query_span() const;
+  /// Number of bases of the target (B) consumed.
+  std::uint64_t target_span() const;
+  /// Total alignment columns.
+  std::uint64_t columns() const;
+
+  std::uint64_t count(CigarOp op) const;
+
+  /// matches / columns; 0 for an empty cigar.
+  double identity() const;
+
+  /// Standard compact string, e.g. "128=1X3I97=2D".
+  std::string to_string() const;
+
+  /// Parse a compact string. 'M' items are accepted and kept as kMatch here;
+  /// use validate()/rescore against sequences for exact semantics. Throws
+  /// CheckError on malformed input.
+  static Cigar parse(std::string_view text);
+
+  bool operator==(const Cigar&) const = default;
+
+ private:
+  std::vector<CigarItem> items_;
+};
+
+/// Check that `cigar` is a valid alignment of `a` (query) to `b` (target):
+/// spans match the lengths, '=' columns have equal bases and 'X' columns
+/// differing ones. Returns an empty string when valid, else a diagnostic.
+std::string validate_cigar(const Cigar& cigar, std::string_view a,
+                           std::string_view b);
+
+/// Transform the query into the target by applying the cigar's edits.
+/// PIMNW_CHECKs that spans match the inputs.
+std::string apply_cigar(const Cigar& cigar, std::string_view a,
+                        std::string_view b);
+
+/// Three-line human-readable rendering (paper Fig. 1): query row, marker row
+/// ('|' match, '.' mismatch, ' ' gap), target row. `width` wraps long
+/// alignments into blocks.
+std::string render_alignment(const Cigar& cigar, std::string_view a,
+                             std::string_view b, std::size_t width = 60);
+
+}  // namespace pimnw::dna

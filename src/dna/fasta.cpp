@@ -1,0 +1,65 @@
+#include "dna/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord rec;
+      const std::size_t ws = line.find_first_of(" \t", 1);
+      if (ws == std::string::npos) {
+        rec.name = line.substr(1);
+      } else {
+        rec.name = line.substr(1, ws - 1);
+        const std::size_t rest = line.find_first_not_of(" \t", ws);
+        if (rest != std::string::npos) rec.comment = line.substr(rest);
+      }
+      records.push_back(std::move(rec));
+    } else {
+      PIMNW_CHECK_MSG(!records.empty(),
+                      "FASTA sequence data before any '>' header");
+      records.back().sequence += line;
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  PIMNW_CHECK_MSG(in.good(), "cannot open FASTA file " << path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width) {
+  PIMNW_CHECK(line_width > 0);
+  for (const auto& rec : records) {
+    out << '>' << rec.name;
+    if (!rec.comment.empty()) out << ' ' << rec.comment;
+    out << '\n';
+    for (std::size_t off = 0; off < rec.sequence.size(); off += line_width) {
+      out << rec.sequence.substr(off, line_width) << '\n';
+    }
+    if (rec.sequence.empty()) out << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  PIMNW_CHECK_MSG(out.good(), "cannot open FASTA file for write " << path);
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace pimnw::dna

@@ -1,0 +1,35 @@
+// Minimal FASTA reader/writer. Datasets in this project are generated, but
+// the benches can persist/reload them so experiments are replayable and so
+// real data can be substituted by the user.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimnw::dna {
+
+struct FastaRecord {
+  std::string name;     // text after '>' up to first whitespace
+  std::string comment;  // remainder of the header line (may be empty)
+  std::string sequence;
+  bool operator==(const FastaRecord&) const = default;
+};
+
+/// Parse FASTA from a stream. Accepts multi-line sequences, skips blank
+/// lines, trims trailing CR (Windows files). Throws CheckError on a sequence
+/// line appearing before any header.
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Convenience wrapper; throws CheckError if the file can't be opened.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Write records, wrapping sequence lines at `line_width` columns.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 80);
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width = 80);
+
+}  // namespace pimnw::dna

@@ -1,0 +1,67 @@
+#include "dna/packed_sequence.hpp"
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+
+PackedSequence PackedSequence::pack(std::string_view ascii) {
+  PackedSequence out;
+  out.size_ = ascii.size();
+  out.bytes_.assign(bytes_for(ascii.size()), 0);
+  for (std::size_t i = 0; i < ascii.size(); ++i) {
+    const Code code = encode_base(ascii[i]);
+    PIMNW_CHECK_MSG(code != 0xff, "cannot pack non-ACGT base '"
+                                      << ascii[i] << "' at position " << i);
+    out.bytes_[i / 4] |= static_cast<std::uint8_t>(code << (2 * (i % 4)));
+  }
+  return out;
+}
+
+PackedSequence PackedSequence::from_packed(std::vector<std::uint8_t> bytes,
+                                           std::size_t size) {
+  PIMNW_CHECK_MSG(bytes.size() >= bytes_for(size),
+                  "packed buffer too small: " << bytes.size() << " bytes for "
+                                              << size << " bases");
+  PackedSequence out;
+  out.bytes_ = std::move(bytes);
+  out.bytes_.resize(bytes_for(size));
+  // Mask the tail bits so operator== is well-defined.
+  if (size % 4 != 0 && !out.bytes_.empty()) {
+    const unsigned keep_bits = 2 * (size % 4);
+    out.bytes_.back() &= static_cast<std::uint8_t>((1u << keep_bits) - 1);
+  }
+  out.size_ = size;
+  return out;
+}
+
+Code PackedSequence::at(std::size_t i) const {
+  PIMNW_DCHECK(i < size_);
+  return static_cast<Code>((bytes_[i / 4] >> (2 * (i % 4))) & 0x3);
+}
+
+std::string PackedSequence::unpack() const {
+  std::string out(size_, '\0');
+  for (std::size_t i = 0; i < size_; ++i) out[i] = decode_base(at(i));
+  return out;
+}
+
+PackedReader::PackedReader(std::span<const std::uint8_t> bytes,
+                           std::size_t start)
+    : bytes_(bytes),
+      byte_index_(start / 4),
+      shift_(2 * static_cast<std::uint32_t>(start % 4)),
+      current_(byte_index_ < bytes_.size() ? bytes_[byte_index_] : 0) {}
+
+Code PackedReader::next() {
+  PIMNW_DCHECK(byte_index_ < bytes_.size());
+  const Code code = static_cast<Code>((current_ >> shift_) & 0x3);
+  shift_ += 2;
+  if (shift_ == 8) {
+    shift_ = 0;
+    ++byte_index_;
+    current_ = byte_index_ < bytes_.size() ? bytes_[byte_index_] : 0;
+  }
+  return code;
+}
+
+}  // namespace pimnw::dna

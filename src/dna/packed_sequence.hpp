@@ -1,0 +1,71 @@
+// 2-bit packed DNA sequence — the on-the-wire representation shipped to DPU
+// MRAM (paper §4.1.1). Four bases per byte, base i in bits (2*(i%4), +1) of
+// byte i/4, i.e. little-endian within the byte so sequential extraction is a
+// shift-right loop (what the DPU kernel does with its shift instructions).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dna/alphabet.hpp"
+
+namespace pimnw::dna {
+
+class PackedSequence {
+ public:
+  PackedSequence() = default;
+
+  /// Pack an ASCII A/C/G/T string. Throws CheckError on other characters
+  /// (resolve_ambiguous() first if the input may contain Ns).
+  static PackedSequence pack(std::string_view ascii);
+
+  /// Adopt an already-packed buffer of `size` bases (buffer must hold at
+  /// least bytes_for(size) bytes; extra bytes are ignored).
+  static PackedSequence from_packed(std::vector<std::uint8_t> bytes,
+                                    std::size_t size);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// 2-bit code of base `i`.
+  Code at(std::size_t i) const;
+
+  /// Raw packed bytes (bytes_for(size()) of them).
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+  /// Decode back to an ASCII string.
+  std::string unpack() const;
+
+  /// Number of bytes needed to store `bases` 2-bit codes.
+  static std::size_t bytes_for(std::size_t bases) { return (bases + 3) / 4; }
+
+  bool operator==(const PackedSequence& other) const = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t size_ = 0;
+};
+
+/// Streaming extractor over a raw packed buffer: yields one 2-bit code per
+/// next() using only shifts, mirroring the DPU kernel's access pattern. The
+/// kernel instantiates this over a WRAM window; tests instantiate it over
+/// host memory to prove equivalence with PackedSequence::at().
+class PackedReader {
+ public:
+  /// `bytes` must outlive the reader. `start` is the index of the first base.
+  PackedReader(std::span<const std::uint8_t> bytes, std::size_t start = 0);
+
+  Code next();
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t byte_index_;
+  std::uint32_t shift_;  // bit offset within the current byte (0,2,4,6)
+  std::uint32_t current_;
+};
+
+}  // namespace pimnw::dna

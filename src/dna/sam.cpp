@@ -1,0 +1,41 @@
+#include "dna/sam.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+
+std::string sam_line(const SamRecord& record) {
+  std::ostringstream os;
+  if (!record.mapped || record.cigar.empty()) {
+    os << record.qname << "\t4\t*\t0\t0\t*\t*\t0\t0\t"
+       << (record.sequence.empty() ? "*" : record.sequence) << "\t*";
+    return os.str();
+  }
+  PIMNW_CHECK_MSG(record.cigar.query_span() == record.sequence.size(),
+                  "SAM record " << record.qname
+                                << ": cigar query span does not match SEQ");
+  os << record.qname << "\t0\t" << record.rname << "\t1\t255\t"
+     << record.cigar.to_string() << "\t*\t0\t0\t" << record.sequence
+     << "\t*\tAS:i:" << record.score;
+  return os.str();
+}
+
+void write_sam(std::ostream& out, const std::vector<SamReference>& references,
+               const std::vector<SamRecord>& records,
+               const std::string& program_name) {
+  out << "@HD\tVN:1.6\tSO:unknown\n";
+  for (const SamReference& ref : references) {
+    PIMNW_CHECK_MSG(ref.length > 0, "reference " << ref.name
+                                                 << " has zero length");
+    out << "@SQ\tSN:" << ref.name << "\tLN:" << ref.length << '\n';
+  }
+  out << "@PG\tID:" << program_name << "\tPN:" << program_name << '\n';
+  for (const SamRecord& record : records) {
+    out << sam_line(record) << '\n';
+  }
+}
+
+}  // namespace pimnw::dna

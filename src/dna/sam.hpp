@@ -1,0 +1,39 @@
+// Minimal SAM (Sequence Alignment/Map) writer — the interchange format
+// downstream genomics tools expect. Global alignments map naturally: one
+// record per query, POS = 1, CIGAR with '='/'X' operators (SAM v1.4+).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dna/cigar.hpp"
+
+namespace pimnw::dna {
+
+struct SamReference {
+  std::string name;
+  std::uint64_t length = 0;
+};
+
+struct SamRecord {
+  std::string qname;
+  std::string rname;        // must match a SamReference
+  Cigar cigar;              // empty = unmapped record
+  std::string sequence;     // the query bases
+  std::int64_t score = 0;   // emitted as the AS:i tag
+  bool mapped = true;
+};
+
+/// Write the header (@HD, @SQ per reference, @PG) and the records.
+/// Unmapped records get FLAG 4 and '*' placeholders per the spec.
+void write_sam(std::ostream& out, const std::vector<SamReference>& references,
+               const std::vector<SamRecord>& records,
+               const std::string& program_name = "pimnw");
+
+/// Render one record as a SAM line (no trailing newline) — exposed for
+/// tests and incremental writers.
+std::string sam_line(const SamRecord& record);
+
+}  // namespace pimnw::dna

@@ -1,0 +1,48 @@
+// Architectural constants of the UPMEM PiM system as described in the paper
+// (§2.1) and UPMEM's public documentation. These drive both the functional
+// simulator (capacities, DMA rules) and the timing model (cost_model.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace pimnw::upmem {
+
+/// One DPU owns one 64 MB MRAM bank.
+inline constexpr std::uint64_t kMramBytes = 64ull * 1024 * 1024;
+
+/// 64 KB WRAM scratchpad per DPU.
+inline constexpr std::uint64_t kWramBytes = 64ull * 1024;
+
+/// DPUs per rank; rank is the granularity of launch/transfer/sync.
+inline constexpr int kDpusPerRank = 64;
+
+/// Ranks per PiM DIMM (each DIMM = 2 ranks of 64 DPUs = 8 GB).
+inline constexpr int kRanksPerDimm = 2;
+
+/// DPU clock of the evaluated server (§5: 2560 DPUs at 350 MHz).
+inline constexpr double kDpuFrequencyHz = 350.0e6;
+
+/// Pipeline: 14 stages deep, a tasklet may re-enter only every 11 cycles, so
+/// >= 11 runnable tasklets are needed for 1 instruction/cycle (§2.1).
+inline constexpr int kPipelineDepth = 14;
+inline constexpr int kPipelineReentry = 11;
+
+/// Maximum hardware threads (tasklets) per DPU.
+inline constexpr int kMaxTasklets = 24;
+
+/// MRAM<->WRAM DMA: 8..2048-byte transfers, 8-byte aligned, 2 bytes/cycle,
+/// plus a fixed engine setup latency per transfer.
+inline constexpr std::uint32_t kDmaMinBytes = 8;
+inline constexpr std::uint32_t kDmaMaxBytes = 2048;
+inline constexpr std::uint32_t kDmaAlign = 8;
+inline constexpr double kDmaBytesPerCycle = 2.0;
+inline constexpr std::uint32_t kDmaSetupCycles = 32;
+
+/// Measured host<->MRAM aggregate bandwidth of the evaluated server
+/// (§4.1.1: "around 60GB/s" across ranks).
+inline constexpr double kHostXferBytesPerSec = 60.0e9;
+
+/// Default server shape (§5): 20 DIMMs = 40 ranks = 2560 DPUs.
+inline constexpr int kDefaultRanks = 40;
+
+}  // namespace pimnw::upmem

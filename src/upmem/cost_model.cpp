@@ -1,0 +1,114 @@
+#include "upmem/cost_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+
+std::uint64_t dma_cycles(std::uint64_t bytes) {
+  return kDmaSetupCycles +
+         static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                    kDmaBytesPerCycle);
+}
+
+void PoolCost::step(std::initializer_list<std::uint64_t> per_tasklet_instr) {
+  std::uint64_t max_instr = 0;
+  for (std::uint64_t instr : per_tasklet_instr) {
+    max_instr = std::max(max_instr, instr);
+    total_instr_ += instr;
+  }
+  critical_instr_ += max_instr;
+}
+
+void PoolCost::step(const std::vector<std::uint64_t>& per_tasklet_instr) {
+  std::uint64_t max_instr = 0;
+  for (std::uint64_t instr : per_tasklet_instr) {
+    max_instr = std::max(max_instr, instr);
+    total_instr_ += instr;
+  }
+  critical_instr_ += max_instr;
+}
+
+void PoolCost::balanced_step(std::uint64_t total_instr, int tasklets) {
+  PIMNW_CHECK(tasklets >= 1);
+  const std::uint64_t t = static_cast<std::uint64_t>(tasklets);
+  critical_instr_ += (total_instr + t - 1) / t;
+  total_instr_ += total_instr;
+}
+
+void PoolCost::serial(std::uint64_t instr) {
+  critical_instr_ += instr;
+  total_instr_ += instr;
+}
+
+void PoolCost::dma(std::uint64_t bytes) {
+  const std::uint64_t cycles = dma_cycles(bytes);
+  critical_dma_cycles_ += cycles;
+  dma_bytes_ += bytes;
+}
+
+DpuCostModel::DpuCostModel(int pools, int tasklets_per_pool)
+    : tasklets_per_pool_(tasklets_per_pool) {
+  PIMNW_CHECK_MSG(pools >= 1 && tasklets_per_pool >= 1,
+                  "need at least one pool of one tasklet");
+  PIMNW_CHECK_MSG(pools * tasklets_per_pool <= kMaxTasklets,
+                  "P*T = " << pools * tasklets_per_pool << " exceeds the "
+                           << kMaxTasklets << " hardware tasklets");
+  pool_costs_.resize(static_cast<std::size_t>(pools));
+}
+
+PoolCost& DpuCostModel::pool(int p) {
+  PIMNW_CHECK(p >= 0 && p < pools());
+  return pool_costs_[static_cast<std::size_t>(p)];
+}
+
+const PoolCost& DpuCostModel::pool(int p) const {
+  PIMNW_CHECK(p >= 0 && p < pools());
+  return pool_costs_[static_cast<std::size_t>(p)];
+}
+
+int DpuCostModel::least_loaded_pool() const {
+  int best = 0;
+  std::uint64_t best_load = ~std::uint64_t{0};
+  for (int p = 0; p < pools(); ++p) {
+    const PoolCost& pc = pool_costs_[static_cast<std::size_t>(p)];
+    const std::uint64_t load =
+        pc.critical_instr() * issue_interval(active_tasklets()) +
+        pc.critical_dma_cycles();
+    if (load < best_load) {
+      best_load = load;
+      best = p;
+    }
+  }
+  return best;
+}
+
+DpuCostModel::Summary DpuCostModel::summarize() const {
+  Summary s;
+  std::uint64_t slowest_pool = 0;
+  for (const PoolCost& pc : pool_costs_) {
+    const std::uint64_t pool_cycles =
+        pc.critical_instr() * issue_interval(active_tasklets()) +
+        pc.critical_dma_cycles();
+    slowest_pool = std::max(slowest_pool, pool_cycles);
+    s.instructions += pc.total_instr();
+    s.dma_cycles_total += pc.critical_dma_cycles();
+    s.dma_bytes += pc.dma_bytes();
+  }
+  s.cycles = std::max({slowest_pool, s.instructions, s.dma_cycles_total});
+  if (s.cycles > 0) {
+    s.pipeline_utilization =
+        static_cast<double>(s.instructions) / static_cast<double>(s.cycles);
+    // MRAM overhead: cycles beyond the pure-issue lower bound, attributable
+    // to DMA on the critical path.
+    const std::uint64_t compute_only =
+        std::max(s.cycles - s.dma_cycles_total, s.instructions);
+    s.mram_overhead = static_cast<double>(s.cycles - compute_only) /
+                      static_cast<double>(s.cycles);
+  }
+  s.seconds = static_cast<double>(s.cycles) / kDpuFrequencyHz;
+  return s;
+}
+
+}  // namespace pimnw::upmem

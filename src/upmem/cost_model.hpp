@@ -1,0 +1,114 @@
+// DPU timing model.
+//
+// The simulator is functional (kernels really compute) but time comes from
+// instruction/DMA *accounting* against the pipeline model of §2.1:
+//
+//  * The 14-deep pipeline issues at most one instruction per cycle, and a
+//    given tasklet may issue only every kPipelineReentry (11) cycles. With A
+//    active tasklets, a tasklet therefore issues one instruction every
+//    max(11, A) cycles, and the DPU as a whole retires at most 1/cycle.
+//  * A tasklet blocks for the duration of its MRAM DMA transfers
+//    (setup + bytes/2 cycles); other tasklets keep the pipeline busy, but the
+//    single DMA engine serialises all transfers of a DPU.
+//
+// Kernels are structured as P *pools* of T tasklets (paper §4.2.3). Within a
+// pool, tasklets synchronise at anti-diagonal granularity; pools run
+// independently. Accounting granularity mirrors that: each pool records a
+// critical path (per-step max over its tasklets) plus totals, and the DPU
+// launch time is the slowest pool's critical path — bounded below by the
+// whole-DPU issue and DMA-engine limits:
+//
+//   cycles = max(  max_p(crit_instr_p) * max(11, A) + max_p(crit_dma_p),
+//                  total_instr,            // pipeline issue bound
+//                  total_dma_cycles )      // MRAM port bound
+//
+// Pipeline utilisation (reported in §5: 95–99%) = total_instr / cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "upmem/arch.hpp"
+
+namespace pimnw::upmem {
+
+/// Cycles consumed by one MRAM<->WRAM DMA transfer of `bytes`.
+std::uint64_t dma_cycles(std::uint64_t bytes);
+
+/// Per-tasklet issue interval with `active_tasklets` runnable tasklets.
+inline std::uint64_t issue_interval(int active_tasklets) {
+  return static_cast<std::uint64_t>(
+      active_tasklets > kPipelineReentry ? active_tasklets
+                                         : kPipelineReentry);
+}
+
+/// Accounting for one pool of tasklets.
+class PoolCost {
+ public:
+  /// One barrier-delimited parallel step: each of the pool's tasklets
+  /// executed the given instruction counts. Critical path takes the max.
+  void step(std::initializer_list<std::uint64_t> per_tasklet_instr);
+  void step(const std::vector<std::uint64_t>& per_tasklet_instr);
+
+  /// Balanced parallel step: `total_instr` split across `tasklets`, the
+  /// slowest executing ceil(total/tasklets). The common fast path — avoids
+  /// materialising a vector per anti-diagonal.
+  void balanced_step(std::uint64_t total_instr, int tasklets);
+
+  /// Master-tasklet-only (serial) section: the pool's other tasklets wait.
+  void serial(std::uint64_t instr);
+
+  /// A DMA transfer issued from this pool's critical path.
+  void dma(std::uint64_t bytes);
+
+  std::uint64_t critical_instr() const { return critical_instr_; }
+  std::uint64_t total_instr() const { return total_instr_; }
+  std::uint64_t critical_dma_cycles() const { return critical_dma_cycles_; }
+  std::uint64_t dma_bytes() const { return dma_bytes_; }
+
+ private:
+  std::uint64_t critical_instr_ = 0;
+  std::uint64_t total_instr_ = 0;
+  std::uint64_t critical_dma_cycles_ = 0;
+  std::uint64_t dma_bytes_ = 0;
+};
+
+/// Whole-DPU accounting for one launch.
+class DpuCostModel {
+ public:
+  /// `pools` concurrent pools of `tasklets_per_pool` tasklets each.
+  DpuCostModel(int pools, int tasklets_per_pool);
+
+  PoolCost& pool(int p);
+  const PoolCost& pool(int p) const;
+  int pools() const { return static_cast<int>(pool_costs_.size()); }
+  int tasklets_per_pool() const { return tasklets_per_pool_; }
+  int active_tasklets() const {
+    return pools() * tasklets_per_pool_;
+  }
+
+  /// Index of the pool with the smallest committed critical path — the pool
+  /// that will grab the next work item from the DPU's shared queue. This is
+  /// how the kernel reproduces the dynamic pool scheduling of §4.2.3.
+  int least_loaded_pool() const;
+
+  struct Summary {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t dma_cycles_total = 0;
+    std::uint64_t dma_bytes = 0;
+    double pipeline_utilization = 0.0;  // instructions / cycles
+    /// Fraction of the launch spent on MRAM<->WRAM transfers beyond what the
+    /// pipeline hides (paper §5: 1–5%).
+    double mram_overhead = 0.0;
+    double seconds = 0.0;  // cycles / kDpuFrequencyHz
+  };
+
+  Summary summarize() const;
+
+ private:
+  int tasklets_per_pool_;
+  std::vector<PoolCost> pool_costs_;
+};
+
+}  // namespace pimnw::upmem

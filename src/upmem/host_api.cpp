@@ -1,0 +1,93 @@
+#include "upmem/host_api.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+
+DpuSet DpuSet::allocate_ranks(int nr_ranks) {
+  return DpuSet(std::make_shared<PimSystem>(nr_ranks), 0, nr_ranks);
+}
+
+int DpuSet::nr_ranks() const { return rank_count_; }
+
+int DpuSet::nr_dpus() const { return rank_count_ * kDpusPerRank; }
+
+DpuSet DpuSet::rank_subset(int rank) {
+  PIMNW_CHECK_MSG(rank >= 0 && rank < rank_count_,
+                  "rank " << rank << " outside this set");
+  return DpuSet(system_, first_rank_ + rank, 1);
+}
+
+TransferStats DpuSet::copy_to(
+    std::uint64_t mram_offset,
+    const std::vector<std::vector<std::uint8_t>>& buffers) {
+  PIMNW_CHECK_MSG(buffers.size() <= static_cast<std::size_t>(nr_dpus()),
+                  "more buffers than DPUs in the set");
+  TransferStats total;
+  for (int r = 0; r < rank_count_; ++r) {
+    std::vector<std::vector<std::uint8_t>> rank_buffers(kDpusPerRank);
+    for (int d = 0; d < kDpusPerRank; ++d) {
+      const std::size_t index =
+          static_cast<std::size_t>(r) * kDpusPerRank + static_cast<std::size_t>(d);
+      if (index < buffers.size()) rank_buffers[static_cast<std::size_t>(d)] = buffers[index];
+    }
+    const TransferStats stats =
+        system_->copy_to_rank(first_rank_ + r, rank_buffers, mram_offset);
+    total.bytes += stats.bytes;
+  }
+  total.seconds = PimSystem::host_transfer_seconds(total.bytes);
+  return total;
+}
+
+TransferStats DpuSet::broadcast(std::uint64_t mram_offset,
+                                std::span<const std::uint8_t> buffer) {
+  TransferStats total;
+  for (int r = 0; r < rank_count_; ++r) {
+    Rank& rank = system_->rank(first_rank_ + r);
+    for (int d = 0; d < kDpusPerRank; ++d) {
+      rank.dpu(d).mram().write(mram_offset, buffer);
+    }
+  }
+  total.bytes = buffer.size() * static_cast<std::uint64_t>(nr_dpus());
+  total.seconds = PimSystem::host_transfer_seconds(total.bytes);
+  return total;
+}
+
+DpuSet::ExecStats DpuSet::exec(
+    const std::function<std::unique_ptr<DpuProgram>(int rank, int dpu)>&
+        factory,
+    int pools, int tasklets_per_pool) {
+  ExecStats stats;
+  stats.per_rank.reserve(static_cast<std::size_t>(rank_count_));
+  for (int r = 0; r < rank_count_; ++r) {
+    const Rank::LaunchStats launch = system_->rank(first_rank_ + r).launch(
+        [&](int d) { return factory(r, d); }, pools, tasklets_per_pool);
+    stats.seconds = std::max(stats.seconds, launch.seconds);
+    stats.per_rank.push_back(launch);
+  }
+  return stats;
+}
+
+TransferStats DpuSet::copy_from(std::uint64_t mram_offset,
+                                const std::vector<std::uint64_t>& sizes,
+                                std::vector<std::vector<std::uint8_t>>& out) {
+  PIMNW_CHECK_MSG(sizes.size() <= static_cast<std::size_t>(nr_dpus()),
+                  "more sizes than DPUs in the set");
+  out.assign(sizes.size(), {});
+  TransferStats total;
+  for (std::size_t index = 0; index < sizes.size(); ++index) {
+    if (sizes[index] == 0) continue;
+    const int r = static_cast<int>(index) / kDpusPerRank;
+    const int d = static_cast<int>(index) % kDpusPerRank;
+    out[index].resize(sizes[index]);
+    system_->rank(first_rank_ + r).dpu(d).mram().read(mram_offset,
+                                                      out[index]);
+    total.bytes += sizes[index];
+  }
+  total.seconds = PimSystem::host_transfer_seconds(total.bytes);
+  return total;
+}
+
+}  // namespace pimnw::upmem

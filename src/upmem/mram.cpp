@@ -1,0 +1,49 @@
+#include "upmem/mram.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+
+void Mram::ensure(std::uint64_t end) const {
+  if (end > data_.size()) {
+    // Grow in 1 MB steps to amortise reallocation without ballooning small
+    // simulations.
+    const std::uint64_t step = 1ull << 20;
+    data_.resize(std::min(capacity_, ((end + step - 1) / step) * step), 0);
+  }
+}
+
+void Mram::write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
+  PIMNW_CHECK_MSG(addr + bytes.size() <= capacity_,
+                  "MRAM write out of bank: addr=" << addr << " size="
+                                                  << bytes.size());
+  if (bytes.empty()) return;
+  ensure(addr + bytes.size());
+  std::memcpy(data_.data() + addr, bytes.data(), bytes.size());
+}
+
+void Mram::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  PIMNW_CHECK_MSG(addr + out.size() <= capacity_,
+                  "MRAM read out of bank: addr=" << addr << " size="
+                                                 << out.size());
+  if (out.empty()) return;
+  ensure(addr + out.size());
+  std::memcpy(out.data(), data_.data() + addr, out.size());
+}
+
+void Mram::check_dma(std::uint64_t addr, std::uint64_t bytes) const {
+  PIMNW_CHECK_MSG(addr % kDmaAlign == 0,
+                  "DMA address " << addr << " not 8-byte aligned");
+  PIMNW_CHECK_MSG(bytes % kDmaAlign == 0,
+                  "DMA size " << bytes << " not a multiple of 8");
+  PIMNW_CHECK_MSG(bytes >= kDmaMinBytes && bytes <= kDmaMaxBytes,
+                  "DMA size " << bytes << " outside [8, 2048]");
+  PIMNW_CHECK_MSG(addr + bytes <= capacity_,
+                  "DMA transfer out of bank: addr=" << addr << " size="
+                                                    << bytes);
+}
+
+}  // namespace pimnw::upmem

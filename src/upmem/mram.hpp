@@ -1,0 +1,48 @@
+// Simulated 64 MB MRAM bank.
+//
+// Storage grows on demand (a full 40-rank system would otherwise pin 160 GB)
+// but every access is bounds-checked against the architectural 64 MB, and
+// DMA-shaped accesses additionally enforce the engine's size/alignment rules.
+// The host-side SDK facade and the DPU-side DMA both funnel through this
+// class, so an out-of-bank address is caught identically on either side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "upmem/arch.hpp"
+
+namespace pimnw::upmem {
+
+class Mram {
+ public:
+  explicit Mram(std::uint64_t capacity = kMramBytes) : capacity_(capacity) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+
+  /// Bytes actually materialised by the simulation (high-water mark).
+  std::uint64_t footprint() const { return data_.size(); }
+
+  /// Raw byte copy in/out (host transfers — no DMA shape constraints, the
+  /// host accesses MRAM through the DDR bus).
+  void write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+  void read(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Validate a DPU DMA transfer shape: 8-byte aligned address, size in
+  /// [8, 2048] and a multiple of 8, and fully inside the bank. Throws
+  /// CheckError otherwise. (The real engine silently corrupts on misuse;
+  /// the simulator makes misuse loud.)
+  void check_dma(std::uint64_t addr, std::uint64_t bytes) const;
+
+  /// Zero the bank (between unrelated launches in tests).
+  void clear() { data_.clear(); }
+
+ private:
+  void ensure(std::uint64_t end) const;
+
+  std::uint64_t capacity_;
+  mutable std::vector<std::uint8_t> data_;
+};
+
+}  // namespace pimnw::upmem

@@ -1,0 +1,31 @@
+#include "upmem/wram.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+
+std::uint64_t Wram::alloc(std::uint64_t bytes) {
+  const std::uint64_t aligned = (bytes + 7) & ~std::uint64_t{7};
+  PIMNW_CHECK_MSG(next_ + aligned <= capacity_,
+                  "WRAM exhausted: requested " << bytes << " bytes with "
+                                               << free_bytes() << " free of "
+                                               << capacity_);
+  const std::uint64_t addr = next_;
+  next_ += aligned;
+  return addr;
+}
+
+void Wram::reset() {
+  next_ = 0;
+  std::fill(data_.begin(), data_.end(), 0);
+}
+
+void Wram::bounds(std::uint64_t addr, std::uint64_t bytes) const {
+  PIMNW_CHECK_MSG(addr + bytes <= capacity_,
+                  "WRAM access out of range: addr=" << addr << " size="
+                                                    << bytes);
+}
+
+}  // namespace pimnw::upmem

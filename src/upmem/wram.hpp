@@ -1,0 +1,64 @@
+// Simulated 64 KB WRAM scratchpad with a bump allocator.
+//
+// The real DPU program lays its buffers out at link time; kernels here carve
+// them from a bump allocator at launch, which gives the same hard property:
+// if the working set exceeds 64 KB the program cannot run. Allocation
+// failures throw, turning silent paper constraints ("three matrices do not
+// fit", §3.3) into enforced ones.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "upmem/arch.hpp"
+
+namespace pimnw::upmem {
+
+class Wram {
+ public:
+  explicit Wram(std::uint64_t capacity = kWramBytes)
+      : capacity_(capacity), data_(capacity, 0) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return next_; }
+  std::uint64_t free_bytes() const { return capacity_ - next_; }
+
+  /// Allocate `bytes` (8-byte aligned, like the DPU toolchain's default).
+  /// Returns the WRAM address. Throws CheckError when the scratchpad is full.
+  std::uint64_t alloc(std::uint64_t bytes);
+
+  /// Typed view over an allocated region.
+  template <typename T>
+  std::span<T> view(std::uint64_t addr, std::uint64_t count) {
+    bounds(addr, count * sizeof(T));
+    return std::span<T>(reinterpret_cast<T*>(data_.data() + addr), count);
+  }
+
+  std::uint8_t* raw(std::uint64_t addr, std::uint64_t bytes) {
+    bounds(addr, bytes);
+    return data_.data() + addr;
+  }
+  const std::uint8_t* raw(std::uint64_t addr, std::uint64_t bytes) const {
+    bounds(addr, bytes);
+    return data_.data() + addr;
+  }
+
+  /// Convenience: allocate and return a typed span in one step.
+  template <typename T>
+  std::span<T> alloc_array(std::uint64_t count) {
+    return view<T>(alloc(count * sizeof(T)), count);
+  }
+
+  /// Release everything (between kernel launches).
+  void reset();
+
+ private:
+  void bounds(std::uint64_t addr, std::uint64_t bytes) const;
+
+  std::uint64_t capacity_;
+  std::uint64_t next_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace pimnw::upmem

@@ -1,0 +1,54 @@
+// Lightweight runtime-check macros used across the library.
+//
+// PIMNW_CHECK is always on (it guards API misuse and simulator invariants such
+// as MRAM bounds); PIMNW_DCHECK compiles out in release builds and is used in
+// hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pimnw {
+
+/// Thrown when a PIMNW_CHECK fails. Carries the failing expression and
+/// location so tests can assert on misuse being detected.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PIMNW_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pimnw
+
+#define PIMNW_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pimnw::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define PIMNW_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pimnw_os_;                                        \
+      pimnw_os_ << msg;                                                    \
+      ::pimnw::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    pimnw_os_.str());                      \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define PIMNW_DCHECK(expr) ((void)0)
+#else
+#define PIMNW_DCHECK(expr) PIMNW_CHECK(expr)
+#endif

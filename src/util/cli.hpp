@@ -1,0 +1,55 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag`. Every flag is
+// registered with a default and a help string; `--help` prints usage and
+// exits. Unknown flags are an error so typos don't silently fall back to
+// defaults in experiment scripts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pimnw {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register flags (call before parse()). Returns *this for chaining.
+  Cli& flag(const std::string& name, std::int64_t def, const std::string& help);
+  Cli& flag(const std::string& name, double def, const std::string& help);
+  Cli& flag(const std::string& name, bool def, const std::string& help);
+  Cli& flag(const std::string& name, const std::string& def,
+            const std::string& help);
+
+  /// Parse argv. On `--help`, prints usage and calls std::exit(0).
+  /// Throws std::invalid_argument on unknown flags or malformed values.
+  void parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Entry {
+    Kind kind;
+    std::string value;  // canonical textual representation
+    std::string def;
+    std::string help;
+  };
+
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pimnw

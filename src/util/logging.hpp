@@ -1,0 +1,35 @@
+// Leveled stderr logger. Kept deliberately simple: benches print structured
+// tables on stdout; the logger is for progress and diagnostics only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pimnw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace pimnw
+
+#define PIMNW_LOG(level, msg)                                      \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::pimnw::log_level())) {                  \
+      std::ostringstream pimnw_log_os_;                            \
+      pimnw_log_os_ << msg;                                        \
+      ::pimnw::detail::log_emit(level, pimnw_log_os_.str());       \
+    }                                                              \
+  } while (0)
+
+#define PIMNW_DEBUG(msg) PIMNW_LOG(::pimnw::LogLevel::kDebug, msg)
+#define PIMNW_INFO(msg) PIMNW_LOG(::pimnw::LogLevel::kInfo, msg)
+#define PIMNW_WARN(msg) PIMNW_LOG(::pimnw::LogLevel::kWarn, msg)
+#define PIMNW_ERROR(msg) PIMNW_LOG(::pimnw::LogLevel::kError, msg)

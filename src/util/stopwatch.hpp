@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for measuring host-side throughput (used to calibrate
+// the CPU baseline timing model). Modeled PiM time never uses this — it comes
+// from the simulator's cycle accounting.
+#pragma once
+
+#include <chrono>
+
+namespace pimnw {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pimnw

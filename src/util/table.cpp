@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pimnw {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  PIMNW_CHECK_MSG(header_.empty() || cells.size() == header_.size(),
+                  "row width " << cells.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  for (const auto& r : rows_) all.push_back(r);
+  std::size_t cols = 0;
+  for (const auto& r : all) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : all) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      os << "| ";
+      if (looks_numeric(cell)) {
+        os << std::setw(static_cast<int>(width[c])) << std::right << cell;
+      } else {
+        os << std::setw(static_cast<int>(width[c])) << std::left << cell;
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << "|" << std::string(width[c] + 2, '-');
+    }
+    os << "|\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print() const { std::cout << render() << std::flush; }
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  if (s >= 100) {
+    os << std::fixed << std::setprecision(0) << s;
+  } else if (s >= 1) {
+    os << std::fixed << std::setprecision(1) << s;
+  } else {
+    os << std::fixed << std::setprecision(3) << s;
+  }
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pimnw

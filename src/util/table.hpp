@@ -1,0 +1,37 @@
+// Plain-text table printer used by the benchmark harness to render the
+// paper's tables (rows of label / time / speedup etc.) on stdout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pimnw {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// First row added acts as the header.
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Convenience: render() to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string fmt_seconds(double s);
+std::string fmt_double(double v, int precision);
+std::string fmt_percent(double fraction, int precision = 1);
+std::string fmt_count(std::uint64_t n);
+
+}  // namespace pimnw

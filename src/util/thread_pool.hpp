@@ -1,0 +1,63 @@
+// Minimal work-stealing-free thread pool with futures and a parallel_for
+// helper. Used by (a) the host orchestrator to run simulated ranks/DPUs in
+// parallel and (b) the CPU baseline batch aligner.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimnw {
+
+/// Fixed-size thread pool. Tasks are std::function<void()>; submit() returns a
+/// future. The pool joins its threads on destruction after draining the queue.
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n), blocking until all iterations complete.
+  /// Iterations are distributed in contiguous chunks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed). Benches and the simulator
+/// share it so we never oversubscribe the machine.
+ThreadPool& global_pool();
+
+}  // namespace pimnw

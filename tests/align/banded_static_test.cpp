@@ -1,0 +1,150 @@
+#include "align/banded_static.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/nw_full.hpp"
+#include "align/verify.hpp"
+#include "testing/dna_testutil.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::align {
+namespace {
+
+const Scoring kScoring = default_scoring();
+
+TEST(BandedStaticTest, WideBandEqualsFullNw) {
+  Xoshiro256 rng(1);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::string a = testing::random_dna(rng, 40 + rng.below(60));
+    const std::string b = testing::mutate(rng, a, 0.1);
+    BandedStaticOptions options;
+    options.band_width =
+        static_cast<std::int64_t>(2 * (a.size() + b.size()) + 4);
+    AlignResult banded = banded_static(a, b, kScoring, options);
+    AlignResult full = nw_full(a, b, kScoring);
+    ASSERT_TRUE(banded.reached_end);
+    EXPECT_EQ(banded.score, full.score);
+    EXPECT_EQ(check_alignment(banded, a, b, kScoring), "");
+  }
+}
+
+TEST(BandedStaticTest, IdenticalSequencesWorkWithTinyBand) {
+  const std::string s = "ACGTACGTACGTACGT";
+  BandedStaticOptions options;
+  options.band_width = 2;
+  AlignResult r = banded_static(s, s, kScoring, options);
+  ASSERT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, kScoring.match * static_cast<Score>(s.size()));
+  EXPECT_EQ(r.cigar.to_string(), "16=");
+}
+
+TEST(BandedStaticTest, ScoreNeverExceedsOptimal) {
+  Xoshiro256 rng(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::string a = testing::random_dna(rng, 50 + rng.below(100));
+    const std::string b = testing::mutate(rng, a, 0.15);
+    BandedStaticOptions options;
+    options.band_width = 8 + static_cast<std::int64_t>(rng.below(32));
+    AlignResult banded = banded_static(a, b, kScoring, options);
+    if (!banded.reached_end) continue;
+    EXPECT_LE(banded.score, nw_full_score(a, b, kScoring));
+    EXPECT_EQ(check_alignment(banded, a, b, kScoring), "");
+  }
+}
+
+TEST(BandedStaticTest, LengthDifferenceBeyondBandFails) {
+  // The corner lies on diagonal n - m = 40; a band of width 16 around the
+  // main diagonal cannot reach it (paper §3.3: static bands must absorb the
+  // length difference).
+  Xoshiro256 rng(7);
+  const std::string b = testing::random_dna(rng, 100);
+  const std::string a = b.substr(0, 60);
+  BandedStaticOptions options;
+  options.band_width = 16;
+  AlignResult r = banded_static(a, b, kScoring, options);
+  EXPECT_FALSE(r.reached_end);
+}
+
+TEST(BandedStaticTest, LargeCenteredGapEscapesNarrowBand) {
+  // 60 bases deleted mid-sequence: the optimal path drifts 60 cells off the
+  // diagonal and back. But the *ends* sit on the main diagonal, so a narrow
+  // band still reaches the corner with a worse-than-optimal score.
+  Xoshiro256 rng(11);
+  std::string a = testing::random_dna(rng, 200);
+  std::string b = a;
+  b.insert(100, testing::random_dna(rng, 60));
+  a += testing::random_dna(rng, 60);  // rebalance lengths: n - m = 0
+  const Score optimal = nw_full_score(a, b, kScoring);
+
+  BandedStaticOptions narrow;
+  narrow.band_width = 16;
+  AlignResult r = banded_static(a, b, kScoring, narrow);
+  if (r.reached_end) {
+    EXPECT_LT(r.score, optimal);
+  }
+
+  BandedStaticOptions wide;
+  wide.band_width = 256;
+  AlignResult r2 = banded_static(a, b, kScoring, wide);
+  ASSERT_TRUE(r2.reached_end);
+  EXPECT_EQ(r2.score, optimal);
+}
+
+TEST(BandedStaticTest, CellCountScalesWithBand) {
+  Xoshiro256 rng(13);
+  const std::string a = testing::random_dna(rng, 500);
+  const std::string b = testing::mutate(rng, a, 0.05);
+  BandedStaticOptions narrow{.band_width = 32, .traceback = false};
+  BandedStaticOptions wide{.band_width = 128, .traceback = false};
+  AlignResult rn = banded_static(a, b, kScoring, narrow);
+  AlignResult rw = banded_static(a, b, kScoring, wide);
+  // Banded complexity is O(w * m): 4x the band ≈ 4x the cells.
+  EXPECT_GT(rw.cells, 3 * rn.cells);
+  EXPECT_LT(rw.cells, 5 * rn.cells);
+  // And far fewer than full DP.
+  EXPECT_LT(rw.cells, static_cast<std::uint64_t>(a.size()) * b.size() / 2);
+}
+
+TEST(BandedStaticTest, ScoreOnlyModeMatches) {
+  Xoshiro256 rng(17);
+  const std::string a = testing::random_dna(rng, 120);
+  const std::string b = testing::mutate(rng, a, 0.1);
+  BandedStaticOptions with_tb{.band_width = 64, .traceback = true};
+  BandedStaticOptions without{.band_width = 64, .traceback = false};
+  AlignResult r1 = banded_static(a, b, kScoring, with_tb);
+  AlignResult r2 = banded_static(a, b, kScoring, without);
+  EXPECT_EQ(r1.score, r2.score);
+  EXPECT_TRUE(r2.cigar.empty());
+}
+
+TEST(BandedStaticTest, EmptySequences) {
+  BandedStaticOptions options;
+  options.band_width = 8;
+  AlignResult r = banded_static("", "", kScoring, options);
+  EXPECT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, 0);
+
+  AlignResult r2 = banded_static("AC", "", kScoring, options);
+  EXPECT_TRUE(r2.reached_end);
+  EXPECT_EQ(r2.score, -kScoring.gap_cost(2));
+  EXPECT_EQ(r2.cigar.to_string(), "2I");
+}
+
+TEST(BandedStaticTest, BandWidthOneIsDiagonalOnly) {
+  BandedStaticOptions options;
+  options.band_width = 1;
+  AlignResult r = banded_static("ACGT", "ACGT", kScoring, options);
+  ASSERT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, 8);
+  // Different lengths are unreachable on the bare diagonal.
+  EXPECT_FALSE(banded_static("ACGT", "ACG", kScoring, options).reached_end);
+}
+
+TEST(BandedStaticTest, RejectsNonPositiveBand) {
+  BandedStaticOptions options;
+  options.band_width = 0;
+  EXPECT_THROW(banded_static("A", "A", kScoring, options), CheckError);
+}
+
+}  // namespace
+}  // namespace pimnw::align

@@ -1,0 +1,77 @@
+#include "align/edit_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/dna_testutil.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::align {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("A", ""), 1u);
+  EXPECT_EQ(edit_distance("", "ACGT"), 4u);
+  EXPECT_EQ(edit_distance("ACGT", "ACGT"), 0u);
+  EXPECT_EQ(edit_distance("ACGT", "AGGT"), 1u);
+  EXPECT_EQ(edit_distance("ACGT", "AGT"), 1u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  Xoshiro256 rng(1);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::string a = testing::random_dna(rng, 10 + rng.below(60));
+    const std::string b = testing::random_dna(rng, 10 + rng.below(60));
+    EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequality) {
+  Xoshiro256 rng(2);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::string a = testing::random_dna(rng, 30);
+    const std::string b = testing::mutate(rng, a, 0.2);
+    const std::string c = testing::mutate(rng, b, 0.2);
+    EXPECT_LE(edit_distance(a, c),
+              edit_distance(a, b) + edit_distance(b, c));
+  }
+}
+
+TEST(EditDistanceTest, BoundedMatchesExactWhenWithinBound) {
+  Xoshiro256 rng(3);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::string a = testing::random_dna(rng, 40 + rng.below(60));
+    const std::string b = testing::mutate(rng, a, 0.1);
+    const std::uint64_t exact = edit_distance(a, b);
+    auto bounded = edit_distance_bounded(a, b, exact + 5);
+    ASSERT_TRUE(bounded.has_value());
+    EXPECT_EQ(*bounded, exact);
+    // Exactly at the bound it must still be found.
+    auto tight = edit_distance_bounded(a, b, exact);
+    ASSERT_TRUE(tight.has_value());
+    EXPECT_EQ(*tight, exact);
+  }
+}
+
+TEST(EditDistanceTest, BoundedReturnsNulloptWhenExceeded) {
+  Xoshiro256 rng(4);
+  const std::string a = testing::random_dna(rng, 100);
+  const std::string b = testing::random_dna(rng, 100);
+  const std::uint64_t exact = edit_distance(a, b);
+  ASSERT_GT(exact, 3u);  // unrelated random sequences are far apart
+  EXPECT_FALSE(edit_distance_bounded(a, b, exact - 1).has_value());
+  EXPECT_FALSE(edit_distance_bounded(a, b, 2).has_value());
+}
+
+TEST(EditDistanceTest, BoundedShortcutsOnLengthDifference) {
+  EXPECT_FALSE(edit_distance_bounded("AAAAAAAAAA", "A", 3).has_value());
+}
+
+TEST(EditDistanceTest, BoundedZeroBound) {
+  EXPECT_TRUE(edit_distance_bounded("ACGT", "ACGT", 0).has_value());
+  EXPECT_FALSE(edit_distance_bounded("ACGT", "ACGA", 0).has_value());
+}
+
+}  // namespace
+}  // namespace pimnw::align

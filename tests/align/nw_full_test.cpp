@@ -1,0 +1,121 @@
+#include "align/nw_full.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/verify.hpp"
+#include "testing/dna_testutil.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::align {
+namespace {
+
+const Scoring kScoring = default_scoring();
+
+TEST(NwFullTest, IdenticalSequencesScoreAllMatches) {
+  const std::string s = "ACGTACGTAC";
+  AlignResult r = nw_full(s, s, kScoring);
+  EXPECT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, kScoring.match * static_cast<Score>(s.size()));
+  EXPECT_EQ(r.cigar.to_string(), "10=");
+  EXPECT_EQ(check_alignment(r, s, s, kScoring), "");
+}
+
+TEST(NwFullTest, SingleMismatch) {
+  AlignResult r = nw_full("ACGT", "AGGT", kScoring);
+  EXPECT_EQ(r.score, 3 * kScoring.match - kScoring.mismatch);
+  EXPECT_EQ(r.cigar.to_string(), "1=1X2=");
+}
+
+TEST(NwFullTest, EmptyVsEmpty) {
+  AlignResult r = nw_full("", "", kScoring);
+  EXPECT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, 0);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+TEST(NwFullTest, EmptyVsNonEmptyIsOneGap) {
+  AlignResult r = nw_full("", "ACGT", kScoring);
+  EXPECT_EQ(r.score, -kScoring.gap_cost(4));
+  EXPECT_EQ(r.cigar.to_string(), "4D");
+
+  AlignResult r2 = nw_full("ACGT", "", kScoring);
+  EXPECT_EQ(r2.score, -kScoring.gap_cost(4));
+  EXPECT_EQ(r2.cigar.to_string(), "4I");
+}
+
+TEST(NwFullTest, AffineGapPreferredOverScatteredGaps) {
+  // Deleting "CCC" as one gap costs open + 3*ext = 10; as three separate
+  // 1-gaps it would cost 3*(open+ext) = 18. The optimal path must use one.
+  AlignResult r = nw_full("AATT", "AACCCTT", kScoring);
+  EXPECT_EQ(r.score, 4 * kScoring.match - kScoring.gap_cost(3));
+  EXPECT_EQ(r.cigar.to_string(), "2=3D2=");
+}
+
+TEST(NwFullTest, GapVsMismatchTradeoff) {
+  // One mismatch (-4) beats open+extend gap pair (-6-6).
+  AlignResult r = nw_full("AC", "AG", kScoring);
+  EXPECT_EQ(r.score, kScoring.match - kScoring.mismatch);
+  EXPECT_EQ(r.cigar.to_string(), "1=1X");
+}
+
+TEST(NwFullTest, ScoreOnlyMatchesTraceback) {
+  Xoshiro256 rng(5);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::string a = testing::random_dna(rng, 50 + rng.below(100));
+    const std::string b = testing::mutate(rng, a, 0.1);
+    NwFullOptions score_only;
+    score_only.traceback = false;
+    AlignResult with_tb = nw_full(a, b, kScoring);
+    AlignResult without = nw_full(a, b, kScoring, score_only);
+    EXPECT_EQ(with_tb.score, without.score);
+    EXPECT_TRUE(without.cigar.empty());
+    EXPECT_EQ(check_alignment(with_tb, a, b, kScoring), "");
+  }
+}
+
+TEST(NwFullTest, NwFullScoreHelper) {
+  EXPECT_EQ(nw_full_score("ACGT", "ACGT", kScoring), 8);
+}
+
+TEST(NwFullTest, CellsCountIsMN) {
+  AlignResult r = nw_full("ACGTA", "ACG", kScoring);
+  EXPECT_EQ(r.cells, 15u);
+}
+
+TEST(NwFullTest, TracebackCellLimitEnforced) {
+  NwFullOptions options;
+  options.max_traceback_cells = 10;
+  EXPECT_THROW(nw_full("ACGTACGT", "ACGTACGT", kScoring, options), CheckError);
+  options.traceback = false;  // score-only is exempt
+  EXPECT_NO_THROW(nw_full("ACGTACGT", "ACGTACGT", kScoring, options));
+}
+
+TEST(NwFullTest, ScoreIsSymmetricUnderSwap) {
+  Xoshiro256 rng(9);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::string a = testing::random_dna(rng, 30 + rng.below(50));
+    const std::string b = testing::mutate(rng, a, 0.15);
+    EXPECT_EQ(nw_full_score(a, b, kScoring), nw_full_score(b, a, kScoring));
+  }
+}
+
+TEST(NwFullTest, CigarScoreNeverExceedsOptimal) {
+  // Any valid alignment path scores at most the DP optimum.
+  Xoshiro256 rng(13);
+  const std::string a = testing::random_dna(rng, 80);
+  const std::string b = testing::mutate(rng, a, 0.2);
+  AlignResult r = nw_full(a, b, kScoring);
+  EXPECT_EQ(cigar_score(r.cigar, kScoring), r.score);
+}
+
+TEST(NwFullTest, CustomScoringChangesOptimum) {
+  // With a huge gap cost, substitution must win even for 2 mismatches.
+  Scoring expensive_gaps{.match = 1, .mismatch = 1, .gap_open = 100,
+                         .gap_extend = 100};
+  AlignResult r = nw_full("AAGG", "AATT", expensive_gaps);
+  EXPECT_EQ(r.cigar.to_string(), "2=2X");
+}
+
+}  // namespace
+}  // namespace pimnw::align

@@ -1,0 +1,125 @@
+// Parameterized cross-implementation property sweeps: for random
+// (length, error-rate, band, scoring) configurations, the three DP
+// implementations must agree wherever their guarantees overlap.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/banded_adaptive.hpp"
+#include "align/banded_static.hpp"
+#include "align/edit_distance.hpp"
+#include "align/nw_full.hpp"
+#include "align/verify.hpp"
+#include "testing/dna_testutil.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::align {
+namespace {
+
+struct Config {
+  std::uint64_t seed;
+  std::size_t length;
+  double error_rate;
+};
+
+class AlignProperty : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(GetParam().seed * 7919 + GetParam().length);
+    a_ = testing::random_dna(rng, GetParam().length);
+    b_ = testing::mutate(rng, a_, GetParam().error_rate);
+    scoring_ = default_scoring();
+  }
+
+  std::string a_;
+  std::string b_;
+  Scoring scoring_;
+};
+
+TEST_P(AlignProperty, FullTracebackIsConsistent) {
+  AlignResult r = nw_full(a_, b_, scoring_);
+  EXPECT_EQ(check_alignment(r, a_, b_, scoring_), "");
+}
+
+TEST_P(AlignProperty, BandedResultsNeverBeatOptimal) {
+  const Score optimal = nw_full_score(a_, b_, scoring_);
+  for (std::int64_t w : {8, 16, 64}) {
+    AlignResult rs =
+        banded_static(a_, b_, scoring_, {.band_width = w, .traceback = true});
+    if (rs.reached_end) {
+      EXPECT_LE(rs.score, optimal) << "static w=" << w;
+      EXPECT_EQ(check_alignment(rs, a_, b_, scoring_), "") << "static w=" << w;
+    }
+    AlignResult ra = banded_adaptive(a_, b_, scoring_,
+                                     {.band_width = w, .traceback = true});
+    ASSERT_TRUE(ra.reached_end);
+    EXPECT_LE(ra.score, optimal) << "adaptive w=" << w;
+    EXPECT_EQ(check_alignment(ra, a_, b_, scoring_), "") << "adaptive w=" << w;
+  }
+}
+
+TEST_P(AlignProperty, WideAdaptiveBandIsExact) {
+  const Score optimal = nw_full_score(a_, b_, scoring_);
+  const std::int64_t w = static_cast<std::int64_t>(a_.size() + b_.size() + 2);
+  AlignResult r =
+      banded_adaptive(a_, b_, scoring_, {.band_width = w, .traceback = false});
+  ASSERT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, optimal);
+}
+
+TEST_P(AlignProperty, WideStaticBandIsExact) {
+  const Score optimal = nw_full_score(a_, b_, scoring_);
+  const std::int64_t w =
+      static_cast<std::int64_t>(2 * (a_.size() + b_.size()) + 2);
+  AlignResult r =
+      banded_static(a_, b_, scoring_, {.band_width = w, .traceback = false});
+  ASSERT_TRUE(r.reached_end);
+  EXPECT_EQ(r.score, optimal);
+}
+
+TEST_P(AlignProperty, AdaptiveAccuracyMonotoneInBand) {
+  // A wider adaptive window can only improve (or keep) the score: the
+  // steering is score-driven, so this is a statistical property; we assert
+  // the weaker guarantee that the widest window is at least as good as the
+  // narrowest, which holds for score-following windows in practice.
+  AlignResult narrow = banded_adaptive(
+      a_, b_, scoring_, {.band_width = 8, .traceback = false});
+  AlignResult wide = banded_adaptive(
+      a_, b_, scoring_,
+      {.band_width = static_cast<std::int64_t>(a_.size() + b_.size() + 2),
+       .traceback = false});
+  ASSERT_TRUE(narrow.reached_end);
+  ASSERT_TRUE(wide.reached_end);
+  EXPECT_GE(wide.score, narrow.score);
+}
+
+TEST_P(AlignProperty, EditDistanceBoundsUnitScoreAlignment) {
+  // With match=0, mismatch=gap_open=0 ... unit scoring: optimal NW score
+  // under {match=0, mismatch=1, open=0, ext=1} equals -edit_distance.
+  Scoring unit{.match = 0, .mismatch = 1, .gap_open = 0, .gap_extend = 1};
+  const Score nw = nw_full_score(a_, b_, unit);
+  EXPECT_EQ(static_cast<std::uint64_t>(-nw), edit_distance(a_, b_));
+}
+
+TEST_P(AlignProperty, ApplyCigarReconstructsTarget) {
+  AlignResult r = nw_full(a_, b_, scoring_);
+  EXPECT_EQ(dna::apply_cigar(r.cigar, a_, b_), b_);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlignProperty,
+    ::testing::Values(Config{1, 20, 0.0}, Config{2, 20, 0.3},
+                      Config{3, 50, 0.05}, Config{4, 50, 0.15},
+                      Config{5, 100, 0.02}, Config{6, 100, 0.1},
+                      Config{7, 100, 0.25}, Config{8, 200, 0.05},
+                      Config{9, 200, 0.12}, Config{10, 350, 0.08},
+                      Config{11, 1, 0.0}, Config{12, 2, 0.5},
+                      Config{13, 5, 0.2}, Config{14, 500, 0.06}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_len" +
+             std::to_string(info.param.length) + "_err" +
+             std::to_string(static_cast<int>(info.param.error_rate * 100));
+    });
+
+}  // namespace
+}  // namespace pimnw::align

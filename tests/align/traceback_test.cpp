@@ -1,0 +1,142 @@
+// Unit tests of the shared 4-bit BT encoding and the generic affine
+// traceback walk, driven with hand-constructed BT tables.
+#include "align/traceback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "align/bt_code.hpp"
+
+namespace pimnw::align {
+namespace {
+
+using dna::CigarOp;
+
+TEST(BtCodeTest, FieldsRoundTrip) {
+  for (std::uint8_t origin :
+       {bt::kOriginDiagMatch, bt::kOriginDiagMismatch, bt::kOriginI,
+        bt::kOriginD}) {
+    for (bool i_open : {false, true}) {
+      for (bool d_open : {false, true}) {
+        const std::uint8_t code = bt::make(origin, i_open, d_open);
+        EXPECT_EQ(bt::origin(code), origin);
+        EXPECT_EQ(bt::i_open(code), i_open);
+        EXPECT_EQ(bt::d_open(code), d_open);
+        EXPECT_LT(code, 16) << "must fit a nibble";
+      }
+    }
+  }
+}
+
+TEST(BtCodeTest, NibblePackingStoresTwoPerByte) {
+  std::uint8_t bytes[4] = {0, 0, 0, 0};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    bt_store(bytes, i, static_cast<std::uint8_t>(i * 2 + 1) & 0xF);
+  }
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(bt_load(bytes, i), static_cast<std::uint8_t>(i * 2 + 1) & 0xF);
+  }
+}
+
+TEST(BtCodeTest, StoreDoesNotClobberNeighbour) {
+  std::uint8_t bytes[1] = {0};
+  bt_store(bytes, 0, 0xA);
+  bt_store(bytes, 1, 0x5);
+  EXPECT_EQ(bt_load(bytes, 0), 0xA);
+  bt_store(bytes, 1, 0x3);
+  EXPECT_EQ(bt_load(bytes, 0), 0xA);
+  EXPECT_EQ(bt_load(bytes, 1), 0x3);
+}
+
+TEST(BtBytesTest, CeilDivision) {
+  EXPECT_EQ(bt_bytes(0), 0u);
+  EXPECT_EQ(bt_bytes(1), 1u);
+  EXPECT_EQ(bt_bytes(2), 1u);
+  EXPECT_EQ(bt_bytes(3), 2u);
+}
+
+/// Build a code_at accessor over an explicit (i, j) -> code map; accessing
+/// an unset cell fails the test (the walk must stay on the seeded path).
+class MapCodes {
+ public:
+  void set(std::int64_t i, std::int64_t j, std::uint8_t code) {
+    codes_[{i, j}] = code;
+  }
+  std::uint8_t operator()(std::int64_t i, std::int64_t j) const {
+    const auto it = codes_.find({i, j});
+    EXPECT_NE(it, codes_.end())
+        << "traceback visited unseeded cell (" << i << "," << j << ")";
+    return it == codes_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::pair<std::int64_t, std::int64_t>, std::uint8_t> codes_;
+};
+
+TEST(TracebackTest, PureDiagonal) {
+  MapCodes codes;
+  for (int k = 1; k <= 4; ++k) {
+    codes.set(k, k, bt::make(bt::kOriginDiagMatch, false, false));
+  }
+  EXPECT_EQ(traceback_affine(4, 4, codes).to_string(), "4=");
+}
+
+TEST(TracebackTest, MixedMatchMismatch) {
+  MapCodes codes;
+  codes.set(1, 1, bt::make(bt::kOriginDiagMatch, false, false));
+  codes.set(2, 2, bt::make(bt::kOriginDiagMismatch, false, false));
+  codes.set(3, 3, bt::make(bt::kOriginDiagMatch, false, false));
+  EXPECT_EQ(traceback_affine(3, 3, codes).to_string(), "1=1X1=");
+}
+
+TEST(TracebackTest, GapRunFollowsOpenBit) {
+  // Path: 2 matches, then a vertical (I) gap of 3 opened at row 3.
+  // At (5,2) H came from I; I extends down to the open at (3,2).
+  MapCodes codes;
+  codes.set(1, 1, bt::make(bt::kOriginDiagMatch, false, false));
+  codes.set(2, 2, bt::make(bt::kOriginDiagMatch, false, false));
+  codes.set(3, 2, bt::make(bt::kOriginDiagMatch, /*i_open=*/true, false));
+  codes.set(4, 2, bt::make(bt::kOriginDiagMatch, /*i_open=*/false, false));
+  codes.set(5, 2, bt::make(bt::kOriginI, /*i_open=*/false, false));
+  EXPECT_EQ(traceback_affine(5, 2, codes).to_string(), "2=3I");
+}
+
+TEST(TracebackTest, HorizontalGapRun) {
+  MapCodes codes;
+  codes.set(1, 1, bt::make(bt::kOriginDiagMatch, false, false));
+  codes.set(1, 2, bt::make(bt::kOriginDiagMatch, false, /*d_open=*/true));
+  codes.set(1, 3, bt::make(bt::kOriginD, false, /*d_open=*/false));
+  EXPECT_EQ(traceback_affine(1, 3, codes).to_string(), "1=2D");
+}
+
+TEST(TracebackTest, BoundaryOnlyCases) {
+  MapCodes unused;
+  EXPECT_EQ(traceback_affine(0, 0, unused).to_string(), "");
+  EXPECT_EQ(traceback_affine(3, 0, unused).to_string(), "3I");
+  EXPECT_EQ(traceback_affine(0, 5, unused).to_string(), "5D");
+}
+
+TEST(TracebackTest, VerticalGapEndingOnMatch) {
+  // Path (0,0) -diag-> (1,1) -3x down-> (4,1): the I run opens at (2,1).
+  MapCodes codes;
+  codes.set(4, 1, bt::make(bt::kOriginI, /*i_open=*/false, false));
+  codes.set(3, 1, bt::make(bt::kOriginDiagMismatch, /*i_open=*/false, false));
+  codes.set(2, 1, bt::make(bt::kOriginDiagMismatch, /*i_open=*/true, false));
+  codes.set(1, 1, bt::make(bt::kOriginDiagMatch, false, false));
+  EXPECT_EQ(traceback_affine(4, 1, codes).to_string(), "1=3I");
+}
+
+TEST(TracebackTest, GapStateFlushesAtBoundaryColumn) {
+  // An I run whose open bit never fires before j hits 0: the walk must
+  // flush the remaining rows as one insertion run (boundary column).
+  MapCodes codes;
+  codes.set(2, 1, bt::make(bt::kOriginI, /*i_open=*/true, false));
+  // State H at (2,1): origin I -> I-state; emit I with open -> back to H at
+  // (1,1); make that cell a D so the walk moves to (1,0), then boundary.
+  codes.set(1, 1, bt::make(bt::kOriginD, false, /*d_open=*/true));
+  EXPECT_EQ(traceback_affine(2, 1, codes).to_string(), "1I1D1I");
+}
+
+}  // namespace
+}  // namespace pimnw::align

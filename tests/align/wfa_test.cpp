@@ -1,0 +1,175 @@
+#include "align/wfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/banded_adaptive.hpp"
+#include "dna/cigar.hpp"
+#include "align/nw_full.hpp"
+#include "testing/dna_testutil.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::align {
+namespace {
+
+const Scoring kScoring = default_scoring();
+
+TEST(WfaTest, IdenticalSequences) {
+  const std::string s = "ACGTACGTACGT";
+  const auto score = wfa_score(s, s, kScoring);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, kScoring.match * static_cast<Score>(s.size()));
+}
+
+TEST(WfaTest, KnownSmallCases) {
+  // Single mismatch.
+  EXPECT_EQ(wfa_score("ACGT", "AGGT", kScoring),
+            nw_full_score("ACGT", "AGGT", kScoring));
+  // Gap vs substitution tradeoff.
+  EXPECT_EQ(wfa_score("AATT", "AACCCTT", kScoring),
+            nw_full_score("AATT", "AACCCTT", kScoring));
+  // Completely different.
+  EXPECT_EQ(wfa_score("AAAA", "TTTT", kScoring),
+            nw_full_score("AAAA", "TTTT", kScoring));
+}
+
+TEST(WfaTest, EmptySequences) {
+  EXPECT_EQ(*wfa_score("", "", kScoring), 0);
+  EXPECT_EQ(*wfa_score("ACG", "", kScoring), -kScoring.gap_cost(3));
+  EXPECT_EQ(*wfa_score("", "ACGT", kScoring), -kScoring.gap_cost(4));
+}
+
+TEST(WfaTest, SingleBases) {
+  EXPECT_EQ(*wfa_score("A", "A", kScoring), kScoring.match);
+  EXPECT_EQ(*wfa_score("A", "C", kScoring),
+            nw_full_score("A", "C", kScoring));
+  EXPECT_EQ(*wfa_score("A", "AC", kScoring),
+            nw_full_score("A", "AC", kScoring));
+}
+
+// The core cross-validation: two unrelated exact algorithms must agree.
+class WfaVsNw : public ::testing::TestWithParam<int> {};
+
+TEST_P(WfaVsNw, AgreesWithFullDp) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const std::size_t len = 20 + rng.below(400);
+  const double error = rng.uniform() * 0.3;
+  const std::string a = testing::random_dna(rng, len);
+  const std::string b = testing::mutate(rng, a, error);
+  const auto wfa = wfa_score(a, b, kScoring);
+  ASSERT_TRUE(wfa.has_value());
+  EXPECT_EQ(*wfa, nw_full_score(a, b, kScoring))
+      << "len=" << len << " err=" << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WfaVsNw, ::testing::Range(0, 25));
+
+TEST(WfaTest, AgreesOnVeryDifferentLengths) {
+  Xoshiro256 rng(7);
+  const std::string a = testing::random_dna(rng, 50);
+  const std::string b = testing::random_dna(rng, 250);
+  EXPECT_EQ(*wfa_score(a, b, kScoring), nw_full_score(a, b, kScoring));
+}
+
+TEST(WfaTest, AgreesWithStructuralGap) {
+  Xoshiro256 rng(9);
+  std::string b = testing::random_dna(rng, 600);
+  std::string a = b;
+  a.erase(200, 120);  // one long deletion
+  EXPECT_EQ(*wfa_score(a, b, kScoring), nw_full_score(a, b, kScoring));
+}
+
+TEST(WfaTest, CostBoundAbortsOnDissimilarPairs) {
+  Xoshiro256 rng(11);
+  const std::string a = testing::random_dna(rng, 300);
+  const std::string b = testing::random_dna(rng, 300);
+  WfaOptions options;
+  options.max_cost = 50;  // far below the ~random-pair cost
+  EXPECT_FALSE(wfa_score(a, b, kScoring, options).has_value());
+  // Without the bound it completes and agrees.
+  EXPECT_EQ(*wfa_score(a, b, kScoring), nw_full_score(a, b, kScoring));
+}
+
+TEST(WfaTest, CustomScoringModels) {
+  Xoshiro256 rng(13);
+  const std::string a = testing::random_dna(rng, 120);
+  const std::string b = testing::mutate(rng, a, 0.15);
+  for (const Scoring scoring :
+       {Scoring{1, 3, 5, 1}, Scoring{3, 2, 6, 1}, Scoring{2, 4, 2, 4}}) {
+    EXPECT_EQ(*wfa_score(a, b, scoring), nw_full_score(a, b, scoring))
+        << "match=" << scoring.match;
+  }
+}
+
+TEST(WfaTest, AgreesWithAdaptiveBandWhenBandIsWide) {
+  Xoshiro256 rng(17);
+  const std::string a = testing::random_dna(rng, 300);
+  const std::string b = testing::mutate(rng, a, 0.08);
+  const AlignResult banded = banded_adaptive(
+      a, b, kScoring,
+      {.band_width = static_cast<std::int64_t>(a.size() + b.size() + 2),
+       .traceback = false});
+  EXPECT_EQ(*wfa_score(a, b, kScoring), banded.score);
+}
+
+}  // namespace
+}  // namespace pimnw::align
+
+// ---- wfa_align (traceback) ----
+
+namespace pimnw::align {
+namespace {
+
+TEST(WfaAlignTest, ProducesValidOptimalCigars) {
+  Xoshiro256 rng(101);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::string a = testing::random_dna(rng, 30 + rng.below(300));
+    const std::string b = testing::mutate(rng, a, rng.uniform() * 0.25);
+    const auto result = wfa_align(a, b, kScoring);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->score, nw_full_score(a, b, kScoring)) << "iter " << iter;
+    // The cigar must be a valid alignment achieving exactly that score.
+    EXPECT_EQ(dna::validate_cigar(result->cigar, a, b), "") << "iter " << iter;
+    EXPECT_EQ(cigar_score(result->cigar, kScoring), result->score)
+        << "iter " << iter;
+  }
+}
+
+TEST(WfaAlignTest, EmptyCases) {
+  const auto both = wfa_align("", "", kScoring);
+  EXPECT_EQ(both->score, 0);
+  EXPECT_TRUE(both->cigar.empty());
+  const auto left = wfa_align("ACG", "", kScoring);
+  EXPECT_EQ(left->cigar.to_string(), "3I");
+  const auto right = wfa_align("", "AC", kScoring);
+  EXPECT_EQ(right->cigar.to_string(), "2D");
+}
+
+TEST(WfaAlignTest, PureMatchPath) {
+  const std::string s = "GATTACAGATTACA";
+  const auto result = wfa_align(s, s, kScoring);
+  EXPECT_EQ(result->cigar.to_string(), "14=");
+}
+
+TEST(WfaAlignTest, LongGapTraceback) {
+  Xoshiro256 rng(103);
+  std::string b = testing::random_dna(rng, 400);
+  std::string a = b;
+  a.erase(150, 80);
+  const auto result = wfa_align(a, b, kScoring);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->score, nw_full_score(a, b, kScoring));
+  EXPECT_EQ(dna::validate_cigar(result->cigar, a, b), "");
+  EXPECT_GE(result->cigar.count(dna::CigarOp::kDelete), 80u);
+}
+
+TEST(WfaAlignTest, CostBoundReturnsNullopt) {
+  Xoshiro256 rng(107);
+  const std::string a = testing::random_dna(rng, 200);
+  const std::string b = testing::random_dna(rng, 200);
+  WfaOptions options;
+  options.max_cost = 30;
+  EXPECT_FALSE(wfa_align(a, b, kScoring, options).has_value());
+}
+
+}  // namespace
+}  // namespace pimnw::align

@@ -1,0 +1,68 @@
+#include "baseline/xeon_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pimnw::baseline {
+namespace {
+
+TEST(XeonModelTest, SpecsMatchPaperServers) {
+  const XeonSpec s15 = xeon_spec(XeonServer::k4215);
+  EXPECT_EQ(s15.cores, 32);
+  EXPECT_DOUBLE_EQ(s15.base_ghz, 2.5);
+  const XeonSpec s16 = xeon_spec(XeonServer::k4216);
+  EXPECT_EQ(s16.cores, 64);
+  EXPECT_DOUBLE_EQ(s16.base_ghz, 2.1);
+}
+
+TEST(XeonModelTest, EfficienciesReproducePaperCrossServerRatios) {
+  // T(4215)/T(4216) = (64 * e16) / (32 * e15): Table 2 gives 294/242 for
+  // S1000, Table 3 gives 744/369 for S10000, etc.
+  struct Case {
+    DatasetClass klass;
+    double paper_ratio;
+  };
+  for (const Case& c : {Case{DatasetClass::kS1000, 294.0 / 242.0},
+                        Case{DatasetClass::kS10000, 744.0 / 369.0},
+                        Case{DatasetClass::kS30000, 1650.0 / 1265.0},
+                        Case{DatasetClass::k16S, 5882.0 / 3538.0},
+                        Case{DatasetClass::kPacbio, 4044.0 / 2788.0}}) {
+    const double t15 = xeon_modeled_seconds(1'000'000'000'000ull, 1e9,
+                                            XeonServer::k4215, c.klass);
+    const double t16 = xeon_modeled_seconds(1'000'000'000'000ull, 1e9,
+                                            XeonServer::k4216, c.klass);
+    EXPECT_NEAR(t15 / t16, c.paper_ratio, 0.01)
+        << dataset_class_name(c.klass);
+  }
+}
+
+TEST(XeonModelTest, TimeScalesLinearlyWithCells) {
+  const double t1 = xeon_modeled_seconds(1'000'000, 1e8, XeonServer::k4215,
+                                         DatasetClass::kS1000);
+  const double t2 = xeon_modeled_seconds(2'000'000, 1e8, XeonServer::k4215,
+                                         DatasetClass::kS1000);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(XeonModelTest, FasterCoresMeanLessTime) {
+  const double slow = xeon_modeled_seconds(1'000'000, 1e8, XeonServer::k4215,
+                                           DatasetClass::kS10000);
+  const double fast = xeon_modeled_seconds(1'000'000, 2e8, XeonServer::k4215,
+                                           DatasetClass::kS10000);
+  EXPECT_NEAR(slow / fast, 2.0, 1e-9);
+}
+
+TEST(XeonModelTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(xeon_modeled_seconds(1, 0.0, XeonServer::k4215,
+                                    DatasetClass::kS1000),
+               CheckError);
+}
+
+TEST(XeonModelTest, Names) {
+  EXPECT_STREQ(xeon_server_name(XeonServer::k4215), "Intel 4215 (32c)");
+  EXPECT_STREQ(dataset_class_name(DatasetClass::kPacbio), "Pacbio");
+}
+
+}  // namespace
+}  // namespace pimnw::baseline

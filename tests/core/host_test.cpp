@@ -1,0 +1,171 @@
+// Host orchestrator features beyond the kernel itself: set-level dispatch,
+// verify mode, batching behaviour, report bookkeeping.
+#include <gtest/gtest.h>
+
+#include "align/banded_adaptive.hpp"
+#include "core/host.hpp"
+#include "data/pacbio.hpp"
+#include "data/synthetic.hpp"
+#include "util/check.hpp"
+
+namespace pimnw::core {
+namespace {
+
+data::SetDataset small_sets(std::size_t count, std::uint64_t seed) {
+  data::PacbioConfig config;
+  config.set_count = count;
+  config.region_min = 300;
+  config.region_max = 500;
+  config.reads_min = 3;
+  config.reads_max = 5;
+  config.seed = seed;
+  return data::generate_pacbio(config);
+}
+
+TEST(AlignSetsTest, MatchesPairwiseReference) {
+  const data::SetDataset dataset = small_sets(3, 21);
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 64;
+
+  PimAligner aligner(config);
+  std::vector<std::vector<PairOutput>> outputs;
+  const RunReport report = aligner.align_sets(dataset.sets, &outputs);
+
+  ASSERT_EQ(outputs.size(), dataset.sets.size());
+  EXPECT_EQ(report.total_pairs, dataset.total_pairs());
+  for (std::size_t s = 0; s < dataset.sets.size(); ++s) {
+    const auto& set = dataset.sets[s];
+    ASSERT_EQ(outputs[s].size(), set.size() * (set.size() - 1) / 2);
+    std::size_t local = 0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j, ++local) {
+        const align::AlignResult ref = align::banded_adaptive(
+            set[i], set[j], config.align.scoring,
+            {.band_width = 64, .traceback = true});
+        ASSERT_EQ(outputs[s][local].ok, ref.reached_end)
+            << "set " << s << " pair " << local;
+        if (!ref.reached_end) continue;
+        EXPECT_EQ(outputs[s][local].score, ref.score);
+        EXPECT_EQ(outputs[s][local].cigar.to_string(),
+                  ref.cigar.to_string());
+      }
+    }
+  }
+}
+
+TEST(AlignSetsTest, SharedReadsTransferredOncePerSet) {
+  // Pair-level dispatch scatters a set's pairs over DPUs, so each read
+  // crosses the bus ~(k-1) times; set-level dispatch moves it once.
+  const data::SetDataset dataset = small_sets(4, 22);
+  std::vector<PairInput> flat;
+  for (const auto& set : dataset.sets) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        flat.push_back({set[i], set[j]});
+      }
+    }
+  }
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 32;
+
+  std::vector<std::vector<PairOutput>> set_out;
+  const RunReport by_sets =
+      PimAligner(config).align_sets(dataset.sets, &set_out);
+  std::vector<PairOutput> pair_out;
+  const RunReport by_pairs = PimAligner(config).align_pairs(flat, &pair_out);
+
+  EXPECT_LT(by_sets.bytes_to_dpus, by_pairs.bytes_to_dpus);
+  // Same results either way (flat enumeration matches set-major order).
+  std::size_t p = 0;
+  for (std::size_t s = 0; s < set_out.size(); ++s) {
+    for (const PairOutput& output : set_out[s]) {
+      EXPECT_EQ(output.score, pair_out[p++].score);
+    }
+  }
+}
+
+TEST(AlignSetsTest, EmptyAndTrivialSets) {
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  PimAligner aligner(config);
+  std::vector<std::vector<PairOutput>> outputs;
+
+  const std::vector<std::vector<std::string>> empty;
+  EXPECT_EQ(aligner.align_sets(empty, &outputs).total_pairs, 0u);
+
+  // A single-read set has no pairs.
+  const std::vector<std::vector<std::string>> singleton = {{"ACGT"}};
+  const RunReport report = aligner.align_sets(singleton, &outputs);
+  EXPECT_EQ(report.total_pairs, 0u);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_TRUE(outputs[0].empty());
+}
+
+TEST(VerifyModeTest, PassesOnCorrectResults) {
+  const data::PairDataset dataset =
+      data::generate_synthetic(data::s1000_config(10, 31));
+  std::vector<PairInput> pairs;
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 64;
+  config.verify = true;
+  std::vector<PairOutput> outputs;
+  EXPECT_NO_THROW(PimAligner(config).align_pairs(pairs, &outputs));
+}
+
+TEST(VerifyModeTest, CoversAllVsAllAndSets) {
+  const data::SetDataset dataset = small_sets(2, 33);
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 64;
+  config.verify = true;
+  PimAligner aligner(config);
+  std::vector<std::vector<PairOutput>> set_out;
+  EXPECT_NO_THROW(aligner.align_sets(dataset.sets, &set_out));
+
+  config.align.traceback = false;
+  PimAligner score_only(config);
+  std::vector<PairOutput> outputs;
+  EXPECT_NO_THROW(score_only.align_all_vs_all(dataset.sets[0], &outputs));
+}
+
+TEST(HostReportTest, BatchCountFollowsBatchSize) {
+  const data::PairDataset dataset =
+      data::generate_synthetic(data::s1000_config(30, 35));
+  std::vector<PairInput> pairs;
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+  PimAlignerConfig config;
+  config.nr_ranks = 2;
+  config.align.band_width = 32;
+  config.batch_pairs = 10;
+  std::vector<PairOutput> outputs;
+  const RunReport report = PimAligner(config).align_pairs(pairs, &outputs);
+  EXPECT_EQ(report.batches, 3u);
+  EXPECT_EQ(report.total_pairs, 30u);
+  // Two ranks share three batches: makespan ~ 2 batch times, not 3.
+  EXPECT_GT(report.makespan_seconds, 0.0);
+}
+
+TEST(HostReportTest, TransfersAndPrepAccounted) {
+  const data::PairDataset dataset =
+      data::generate_synthetic(data::s1000_config(8, 37));
+  std::vector<PairInput> pairs;
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 32;
+  std::vector<PairOutput> outputs;
+  const RunReport report = PimAligner(config).align_pairs(pairs, &outputs);
+  EXPECT_GT(report.bytes_to_dpus, 0u);
+  EXPECT_GT(report.bytes_from_dpus, 0u);
+  EXPECT_GT(report.transfer_seconds, 0.0);
+  EXPECT_GT(report.host_prep_seconds, 0.0);
+  EXPECT_GE(report.host_overhead_fraction, 0.0);
+  EXPECT_LE(report.host_overhead_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace pimnw::core

@@ -1,0 +1,161 @@
+#include "core/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::core {
+namespace {
+
+TEST(WorkloadTest, MatchesPaperEquation) {
+  // W(m, n) = (m + n) * w  — equation (6).
+  EXPECT_EQ(pair_workload(1000, 1000, 128), 256'000u);
+  EXPECT_EQ(pair_workload(0, 10, 4), 40u);
+}
+
+TEST(LptTest, EveryItemAssignedExactlyOnce) {
+  Xoshiro256 rng(1);
+  std::vector<WorkItem> items;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    items.push_back({i, 1 + rng.below(10'000)});
+  }
+  const Assignment assignment = lpt_assign(items, 64);
+  std::set<std::uint32_t> seen;
+  for (const auto& bin : assignment.bins) {
+    for (const auto& item : bin) {
+      EXPECT_TRUE(seen.insert(item.id).second) << "duplicate " << item.id;
+    }
+  }
+  EXPECT_EQ(seen.size(), items.size());
+}
+
+TEST(LptTest, BinLoadsAreConsistent) {
+  Xoshiro256 rng(2);
+  std::vector<WorkItem> items;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    items.push_back({i, 1 + rng.below(1000)});
+  }
+  const Assignment assignment = lpt_assign(items, 16);
+  for (std::size_t b = 0; b < assignment.bins.size(); ++b) {
+    std::uint64_t sum = 0;
+    for (const auto& item : assignment.bins[b]) sum += item.workload;
+    EXPECT_EQ(sum, assignment.bin_load[b]);
+  }
+}
+
+TEST(LptTest, MakespanWithinClassicBound) {
+  // LPT guarantees makespan <= (4/3 - 1/(3k)) OPT; OPT >= max(total/k, max).
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<WorkItem> items;
+    std::uint64_t total = 0;
+    std::uint64_t largest = 0;
+    const std::size_t n = 50 + rng.below(500);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t w = 1 + rng.below(100'000);
+      items.push_back({i, w});
+      total += w;
+      largest = std::max(largest, w);
+    }
+    const int k = 64;
+    const Assignment assignment = lpt_assign(items, k);
+    const double opt_lower =
+        std::max<double>(static_cast<double>(total) / k,
+                         static_cast<double>(largest));
+    EXPECT_LE(static_cast<double>(assignment.max_load()),
+              (4.0 / 3.0) * opt_lower + 1);
+  }
+}
+
+TEST(LptTest, UniformItemsBalanceNearPerfectly) {
+  std::vector<WorkItem> items;
+  for (std::uint32_t i = 0; i < 6400; ++i) items.push_back({i, 100});
+  const Assignment assignment = lpt_assign(items, 64);
+  EXPECT_EQ(assignment.max_load(), assignment.min_nonempty_load());
+  EXPECT_NEAR(assignment.imbalance(), 1.0, 1e-9);
+}
+
+TEST(LptTest, HeterogeneousPairsBalanceWell) {
+  // The paper's claim: LPT keeps the fastest/slowest DPU gap small even for
+  // mixed-length reads (§4.1.2, ~5% on 16S).
+  Xoshiro256 rng(5);
+  std::vector<WorkItem> items;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const std::uint64_t len = 800 + rng.below(400);  // 1k-ish reads
+    items.push_back({i, pair_workload(len, len, 128)});
+  }
+  const Assignment assignment = lpt_assign(items, 64);
+  EXPECT_LT(assignment.imbalance(), 1.05);
+}
+
+TEST(LptTest, FewerItemsThanBins) {
+  std::vector<WorkItem> items = {{0, 5}, {1, 3}};
+  const Assignment assignment = lpt_assign(items, 8);
+  EXPECT_EQ(assignment.max_load(), 5u);
+  int nonempty = 0;
+  for (const auto& bin : assignment.bins) {
+    nonempty += bin.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(LptTest, EmptyInput) {
+  const Assignment assignment = lpt_assign({}, 4);
+  EXPECT_EQ(assignment.max_load(), 0u);
+  EXPECT_EQ(assignment.min_nonempty_load(), 0u);
+}
+
+TEST(LptTest, RejectsZeroBins) {
+  EXPECT_THROW(lpt_assign({}, 0), CheckError);
+}
+
+TEST(LptTest, DeterministicForEqualInput) {
+  std::vector<WorkItem> items;
+  Xoshiro256 rng(7);
+  for (std::uint32_t i = 0; i < 100; ++i) items.push_back({i, 1 + rng.below(50)});
+  const Assignment a = lpt_assign(items, 8);
+  const Assignment b = lpt_assign(items, 8);
+  for (std::size_t bin = 0; bin < a.bins.size(); ++bin) {
+    ASSERT_EQ(a.bins[bin].size(), b.bins[bin].size());
+    for (std::size_t i = 0; i < a.bins[bin].size(); ++i) {
+      EXPECT_EQ(a.bins[bin][i].id, b.bins[bin][i].id);
+    }
+  }
+}
+
+TEST(StaticSplitTest, CoversRangeContiguously) {
+  const auto ranges = static_split(100, 8);
+  ASSERT_EQ(ranges.size(), 8u);
+  std::uint64_t expected_first = 0;
+  for (const auto& [first, last] : ranges) {
+    EXPECT_EQ(first, expected_first);
+    expected_first = last;
+  }
+  EXPECT_EQ(expected_first, 100u);
+}
+
+TEST(StaticSplitTest, NearEqualSizes) {
+  const auto ranges = static_split(100, 8);
+  for (const auto& [first, last] : ranges) {
+    const std::uint64_t len = last - first;
+    EXPECT_GE(len, 12u);
+    EXPECT_LE(len, 13u);
+  }
+}
+
+TEST(StaticSplitTest, MoreBinsThanItems) {
+  const auto ranges = static_split(3, 8);
+  int nonempty = 0;
+  for (const auto& [first, last] : ranges) {
+    nonempty += (last > first) ? 1 : 0;
+  }
+  EXPECT_EQ(nonempty, 3);
+}
+
+}  // namespace
+}  // namespace pimnw::core

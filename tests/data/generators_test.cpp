@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "align/edit_distance.hpp"
+#include "data/mutate.hpp"
+#include "data/pacbio.hpp"
+#include "data/phylo16s.hpp"
+#include "data/synthetic.hpp"
+#include "dna/alphabet.hpp"
+
+namespace pimnw::data {
+namespace {
+
+TEST(MutateTest, ZeroErrorRateIsIdentity) {
+  Xoshiro256 rng(1);
+  const std::string seq = random_dna(500, rng);
+  ErrorModel model;
+  model.error_rate = 0.0;
+  EXPECT_EQ(mutate(seq, model, rng), seq);
+}
+
+TEST(MutateTest, ErrorRateControlsDivergence) {
+  Xoshiro256 rng(2);
+  const std::string seq = random_dna(2000, rng);
+  for (double rate : {0.02, 0.1, 0.2}) {
+    ErrorModel model;
+    model.error_rate = rate;
+    const std::string mutated = mutate(seq, model, rng);
+    const double dist = static_cast<double>(
+        align::edit_distance(seq, mutated));
+    // Edit distance per base should be near the error rate (ins/del of
+    // length >1 add a little).
+    EXPECT_NEAR(dist / static_cast<double>(seq.size()), rate, rate * 0.5)
+        << "rate " << rate;
+  }
+}
+
+TEST(MutateTest, SubstitutionOnlyPreservesLength) {
+  Xoshiro256 rng(3);
+  const std::string seq = random_dna(1000, rng);
+  ErrorModel model;
+  model.error_rate = 0.3;
+  model.sub_fraction = 1.0;
+  model.ins_fraction = 0.0;
+  model.del_fraction = 0.0;
+  EXPECT_EQ(mutate(seq, model, rng).size(), seq.size());
+}
+
+TEST(MutateTest, LongGapsAppearAtRequestedScale) {
+  Xoshiro256 rng(4);
+  const std::string seq = random_dna(50'000, rng);
+  ErrorModel model;
+  model.error_rate = 0.0;
+  model.long_gap_rate = 1e-3;
+  model.long_gap_min = 100;
+  model.long_gap_max = 200;
+  const std::string mutated = mutate(seq, model, rng);
+  // ~50 long gaps (half insertions, half deletions) must visibly change
+  // the length in at least one direction over several trials.
+  const auto diff = static_cast<std::int64_t>(mutated.size()) -
+                    static_cast<std::int64_t>(seq.size());
+  EXPECT_NE(diff, 0);
+}
+
+TEST(MutateTest, SubstituteBaseNeverReturnsSame) {
+  Xoshiro256 rng(5);
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    for (int iter = 0; iter < 20; ++iter) {
+      EXPECT_NE(substitute_base(base, rng), base);
+    }
+  }
+}
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  SyntheticConfig config = s1000_config(25, 7);
+  const PairDataset dataset = generate_synthetic(config);
+  ASSERT_EQ(dataset.pairs.size(), 25u);
+  for (const auto& [a, b] : dataset.pairs) {
+    EXPECT_NEAR(static_cast<double>(a.size()), 1000.0, 25.0);
+    dna::require_acgt(a);
+    dna::require_acgt(b);
+    // Pair divergence ~ error rate.
+    const double dist =
+        static_cast<double>(align::edit_distance(a, b));
+    EXPECT_LT(dist / 1000.0, 0.25);
+    EXPECT_GT(dist, 0.0);
+  }
+  EXPECT_GT(dataset.total_bases(), 2u * 25u * 900u);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  const PairDataset d1 = generate_synthetic(s1000_config(5, 99));
+  const PairDataset d2 = generate_synthetic(s1000_config(5, 99));
+  EXPECT_EQ(d1.pairs, d2.pairs);
+  const PairDataset d3 = generate_synthetic(s1000_config(5, 100));
+  EXPECT_NE(d1.pairs, d3.pairs);
+}
+
+TEST(SyntheticTest, ConfigsScaleReadLength) {
+  EXPECT_EQ(s1000_config(1).read_length, 1000u);
+  EXPECT_EQ(s10000_config(1).read_length, 10'000u);
+  EXPECT_EQ(s30000_config(1).read_length, 30'000u);
+}
+
+TEST(Phylo16sTest, GeneratesFamilyOfRelatedSequences) {
+  Phylo16sConfig config;
+  config.species = 20;
+  config.root_length = 800;
+  config.seed = 11;
+  const std::vector<std::string> seqs = generate_16s(config);
+  ASSERT_EQ(seqs.size(), 20u);
+  std::set<std::string> unique(seqs.begin(), seqs.end());
+  EXPECT_GT(unique.size(), 15u) << "species should be distinct";
+  for (const auto& s : seqs) {
+    dna::require_acgt(s);
+    EXPECT_NEAR(static_cast<double>(s.size()), 800.0, 200.0);
+  }
+  // Pairwise divergences should span a range (close and distant pairs).
+  double min_div = 1.0;
+  double max_div = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      const double div =
+          static_cast<double>(align::edit_distance(seqs[i], seqs[j])) /
+          static_cast<double>(seqs[i].size());
+      min_div = std::min(min_div, div);
+      max_div = std::max(max_div, div);
+    }
+  }
+  EXPECT_LT(min_div, max_div);
+  EXPECT_GT(max_div, 0.02);
+}
+
+TEST(Phylo16sTest, Deterministic) {
+  Phylo16sConfig config;
+  config.species = 8;
+  config.root_length = 300;
+  EXPECT_EQ(generate_16s(config), generate_16s(config));
+}
+
+TEST(PacbioTest, SetsHaveRequestedShape) {
+  PacbioConfig config;
+  config.set_count = 5;
+  config.region_min = 500;
+  config.region_max = 900;
+  config.reads_min = 3;
+  config.reads_max = 6;
+  const SetDataset dataset = generate_pacbio(config);
+  ASSERT_EQ(dataset.sets.size(), 5u);
+  for (const auto& set : dataset.sets) {
+    EXPECT_GE(set.size(), 3u);
+    EXPECT_LE(set.size(), 6u);
+    for (const auto& read : set) {
+      dna::require_acgt(read);
+      EXPECT_GT(read.size(), 300u);
+    }
+  }
+  EXPECT_GT(dataset.total_pairs(), 0u);
+  EXPECT_GT(dataset.total_bases(), 0u);
+}
+
+TEST(PacbioTest, ReadsOfASetAreRelated) {
+  PacbioConfig config;
+  config.set_count = 1;
+  config.region_min = 800;
+  config.region_max = 800;
+  config.reads_min = 2;
+  config.reads_max = 2;
+  config.seed = 13;
+  const SetDataset dataset = generate_pacbio(config);
+  const auto& set = dataset.sets[0];
+  const double div =
+      static_cast<double>(align::edit_distance(set[0], set[1])) /
+      static_cast<double>(set[0].size());
+  // Two reads at ~12% error each -> pairwise divergence well below random
+  // (~75%) but clearly nonzero.
+  EXPECT_GT(div, 0.05);
+  EXPECT_LT(div, 0.5);
+}
+
+TEST(PacbioTest, TotalPairsFormula) {
+  SetDataset dataset;
+  dataset.sets = {{"A", "C", "G"}, {"A", "C"}};
+  EXPECT_EQ(dataset.total_pairs(), 3u + 1u);
+}
+
+}  // namespace
+}  // namespace pimnw::data

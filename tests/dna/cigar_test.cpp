@@ -1,0 +1,156 @@
+#include "dna/cigar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+namespace {
+
+TEST(CigarTest, PushMergesAdjacentRuns) {
+  Cigar c;
+  c.push(CigarOp::kMatch, 3);
+  c.push(CigarOp::kMatch, 2);
+  c.push(CigarOp::kInsert, 1);
+  ASSERT_EQ(c.items().size(), 2u);
+  EXPECT_EQ(c.items()[0], (CigarItem{CigarOp::kMatch, 5}));
+  EXPECT_EQ(c.items()[1], (CigarItem{CigarOp::kInsert, 1}));
+}
+
+TEST(CigarTest, PushZeroLengthIsNoop) {
+  Cigar c;
+  c.push(CigarOp::kMatch, 0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(CigarTest, ToStringFormat) {
+  Cigar c;
+  c.push(CigarOp::kMatch, 128);
+  c.push(CigarOp::kMismatch, 1);
+  c.push(CigarOp::kInsert, 3);
+  c.push(CigarOp::kMatch, 97);
+  c.push(CigarOp::kDelete, 2);
+  EXPECT_EQ(c.to_string(), "128=1X3I97=2D");
+}
+
+TEST(CigarTest, ParseRoundTrip) {
+  const std::string text = "10=2X3I4=5D1=";
+  EXPECT_EQ(Cigar::parse(text).to_string(), text);
+}
+
+TEST(CigarTest, ParseAcceptsM) {
+  Cigar c = Cigar::parse("5M");
+  EXPECT_EQ(c.count(CigarOp::kMatch), 5u);
+}
+
+TEST(CigarTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Cigar::parse("=5"), CheckError);   // op before length
+  EXPECT_THROW(Cigar::parse("5"), CheckError);    // trailing length
+  EXPECT_THROW(Cigar::parse("3Q"), CheckError);   // unknown op
+}
+
+TEST(CigarTest, Spans) {
+  Cigar c = Cigar::parse("4=1X2I3D");
+  EXPECT_EQ(c.query_span(), 7u);   // = X I consume the query
+  EXPECT_EQ(c.target_span(), 8u);  // = X D consume the target
+  EXPECT_EQ(c.columns(), 10u);
+}
+
+TEST(CigarTest, CountsAndIdentity) {
+  Cigar c = Cigar::parse("8=1X1I");
+  EXPECT_EQ(c.count(CigarOp::kMatch), 8u);
+  EXPECT_EQ(c.count(CigarOp::kMismatch), 1u);
+  EXPECT_EQ(c.count(CigarOp::kInsert), 1u);
+  EXPECT_EQ(c.count(CigarOp::kDelete), 0u);
+  EXPECT_DOUBLE_EQ(c.identity(), 0.8);
+}
+
+TEST(CigarTest, EmptyIdentityIsZero) {
+  EXPECT_DOUBLE_EQ(Cigar().identity(), 0.0);
+}
+
+TEST(CigarTest, ReverseReversesItemOrder) {
+  Cigar c;
+  c.push(CigarOp::kInsert, 2);
+  c.push(CigarOp::kMatch, 5);
+  c.reverse();
+  EXPECT_EQ(c.to_string(), "5=2I");
+}
+
+// The paper's Figure 1 example: one mismatch, one insertion, one deletion.
+TEST(CigarTest, ValidateFig1StyleAlignment) {
+  //   A: A C G T A C  (query)
+  //   B: A G G T - C T? — construct explicitly instead:
+  const std::string a = "ACGTAC";
+  const std::string b = "AGGTC";
+  // A C G T A C
+  // | . | |   |
+  // A G G T - C   → 1=1X2=1I1=  (A inserted in query)
+  Cigar c = Cigar::parse("1=1X2=1I1=");
+  EXPECT_EQ(validate_cigar(c, a, b), "");
+}
+
+TEST(CigarTest, ValidateCatchesWrongMatchColumn) {
+  Cigar c = Cigar::parse("2=");
+  EXPECT_NE(validate_cigar(c, "AC", "AG"), "");
+}
+
+TEST(CigarTest, ValidateCatchesWrongMismatchColumn) {
+  Cigar c = Cigar::parse("1X1=");
+  EXPECT_NE(validate_cigar(c, "AC", "AC"), "");
+}
+
+TEST(CigarTest, ValidateCatchesSpanMismatch) {
+  Cigar c = Cigar::parse("3=");
+  EXPECT_NE(validate_cigar(c, "AC", "ACG"), "");
+  EXPECT_NE(validate_cigar(c, "ACGT", "ACG"), "");
+}
+
+TEST(CigarTest, ValidateCatchesOverrun) {
+  Cigar c = Cigar::parse("5=");
+  EXPECT_NE(validate_cigar(c, "AC", "AC"), "");
+}
+
+TEST(CigarTest, ApplyTransformsQueryIntoTarget) {
+  const std::string a = "ACGTAC";
+  const std::string b = "AGGTC";
+  Cigar c = Cigar::parse("1=1X2=1I1=");
+  EXPECT_EQ(apply_cigar(c, a, b), b);
+}
+
+TEST(CigarTest, ApplyWithDeletions) {
+  const std::string a = "AAT";
+  const std::string b = "AACCT";
+  Cigar c = Cigar::parse("2=2D1=");
+  EXPECT_EQ(validate_cigar(c, a, b), "");
+  EXPECT_EQ(apply_cigar(c, a, b), b);
+}
+
+TEST(CigarTest, ApplyChecksSpans) {
+  Cigar c = Cigar::parse("2=");
+  EXPECT_THROW(apply_cigar(c, "ACG", "AC"), CheckError);
+}
+
+TEST(CigarTest, RenderAlignmentShowsMarkers) {
+  const std::string a = "ACGTAC";
+  const std::string b = "AGGTC";
+  Cigar c = Cigar::parse("1=1X2=1I1=");
+  const std::string art = render_alignment(c, a, b);
+  EXPECT_NE(art.find("A: ACGTAC"), std::string::npos);
+  EXPECT_NE(art.find("B: AGGT-C"), std::string::npos);
+  EXPECT_NE(art.find("|.||"), std::string::npos);
+}
+
+TEST(CigarTest, RenderWrapsAtWidth) {
+  Cigar c = Cigar::parse("10=");
+  const std::string art = render_alignment(c, "ACGTACGTAC", "ACGTACGTAC", 4);
+  // 10 columns at width 4 → 3 blocks, each with 3 lines.
+  int lines = 0;
+  for (char ch : art) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_GE(lines, 9);
+}
+
+}  // namespace
+}  // namespace pimnw::dna

@@ -1,0 +1,92 @@
+#include "dna/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+namespace {
+
+TEST(FastaTest, ParsesSimpleRecords) {
+  std::istringstream in(">seq1\nACGT\n>seq2\nTTTT\n");
+  auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "seq1");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[1].name, "seq2");
+  EXPECT_EQ(records[1].sequence, "TTTT");
+}
+
+TEST(FastaTest, JoinsMultiLineSequences) {
+  std::istringstream in(">s\nACGT\nACGT\nAC\n");
+  auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGTACGTAC");
+}
+
+TEST(FastaTest, ParsesHeaderComment) {
+  std::istringstream in(">s1 some description here\nAC\n");
+  auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "s1");
+  EXPECT_EQ(records[0].comment, "some description here");
+}
+
+TEST(FastaTest, SkipsBlankLinesAndTrimsCR) {
+  std::istringstream in(">s\r\n\r\nAC\r\nGT\r\n");
+  auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "s");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+}
+
+TEST(FastaTest, SequenceBeforeHeaderThrows) {
+  std::istringstream in("ACGT\n>s\nAC\n");
+  EXPECT_THROW(read_fasta(in), CheckError);
+}
+
+TEST(FastaTest, EmptyInputYieldsNoRecords) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(FastaTest, WriteReadRoundTrip) {
+  std::vector<FastaRecord> records = {
+      {"a", "first record", "ACGTACGTACGT"},
+      {"b", "", "TT"},
+      {"c", "empty sequence", ""},
+  };
+  std::ostringstream out;
+  write_fasta(out, records, 5);
+  std::istringstream in(out.str());
+  auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), records.size());
+  EXPECT_EQ(back[0], records[0]);
+  EXPECT_EQ(back[1], records[1]);
+  EXPECT_EQ(back[2], records[2]);
+}
+
+TEST(FastaTest, WriteWrapsLines) {
+  std::vector<FastaRecord> records = {{"s", "", "ACGTACGTAC"}};
+  std::ostringstream out;
+  write_fasta(out, records, 4);
+  EXPECT_EQ(out.str(), ">s\nACGT\nACGT\nAC\n");
+}
+
+TEST(FastaTest, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), CheckError);
+}
+
+TEST(FastaTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pimnw_fasta_test.fa";
+  std::vector<FastaRecord> records = {{"chr", "test", "ACACGT"}};
+  write_fasta_file(path, records);
+  auto back = read_fasta_file(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], records[0]);
+}
+
+}  // namespace
+}  // namespace pimnw::dna

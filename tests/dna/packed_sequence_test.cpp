@@ -1,0 +1,126 @@
+#include "dna/packed_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/dna_testutil.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::dna {
+namespace {
+
+TEST(PackedSequenceTest, PackUnpackRoundTrip) {
+  const std::string seq = "ACGTACGTTGCA";
+  EXPECT_EQ(PackedSequence::pack(seq).unpack(), seq);
+}
+
+TEST(PackedSequenceTest, EmptySequence) {
+  PackedSequence p = PackedSequence::pack("");
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.unpack(), "");
+  EXPECT_EQ(p.bytes().size(), 0u);
+}
+
+TEST(PackedSequenceTest, NonMultipleOfFourLengths) {
+  for (std::size_t len : {1u, 2u, 3u, 5u, 7u, 9u, 13u}) {
+    Xoshiro256 rng(len);
+    const std::string seq = testing::random_dna(rng, len);
+    PackedSequence p = PackedSequence::pack(seq);
+    EXPECT_EQ(p.size(), len);
+    EXPECT_EQ(p.unpack(), seq);
+    EXPECT_EQ(p.bytes().size(), (len + 3) / 4);
+  }
+}
+
+TEST(PackedSequenceTest, AtMatchesEncode) {
+  const std::string seq = "TTGACGTA";
+  PackedSequence p = PackedSequence::pack(seq);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(p.at(i), encode_base(seq[i])) << "index " << i;
+  }
+}
+
+TEST(PackedSequenceTest, FourBasesPerByteLittleEndian) {
+  // "ACGT" = codes 0,1,2,3 → byte 0b11100100 = 0xE4.
+  PackedSequence p = PackedSequence::pack("ACGT");
+  ASSERT_EQ(p.bytes().size(), 1u);
+  EXPECT_EQ(p.bytes()[0], 0xE4);
+}
+
+TEST(PackedSequenceTest, PackRejectsAmbiguousBases) {
+  EXPECT_THROW(PackedSequence::pack("ACGN"), CheckError);
+}
+
+TEST(PackedSequenceTest, FromPackedRoundTrip) {
+  const std::string seq = "GATTACA";
+  PackedSequence original = PackedSequence::pack(seq);
+  std::vector<std::uint8_t> bytes(original.bytes().begin(),
+                                  original.bytes().end());
+  PackedSequence rebuilt = PackedSequence::from_packed(bytes, seq.size());
+  EXPECT_EQ(rebuilt, original);
+  EXPECT_EQ(rebuilt.unpack(), seq);
+}
+
+TEST(PackedSequenceTest, FromPackedMasksTailBits) {
+  // Same payload with garbage in the unused tail bits must compare equal.
+  std::vector<std::uint8_t> clean = {0xE4, 0x01};  // "ACGTC"
+  std::vector<std::uint8_t> dirty = {0xE4, 0xFD};  // same first 2 bits, junk after
+  EXPECT_EQ(PackedSequence::from_packed(clean, 5),
+            PackedSequence::from_packed(dirty, 5));
+}
+
+TEST(PackedSequenceTest, FromPackedRejectsShortBuffer) {
+  std::vector<std::uint8_t> one_byte = {0xE4};
+  EXPECT_THROW(PackedSequence::from_packed(one_byte, 5), CheckError);
+}
+
+TEST(PackedSequenceTest, BytesForBoundary) {
+  EXPECT_EQ(PackedSequence::bytes_for(0), 0u);
+  EXPECT_EQ(PackedSequence::bytes_for(1), 1u);
+  EXPECT_EQ(PackedSequence::bytes_for(4), 1u);
+  EXPECT_EQ(PackedSequence::bytes_for(5), 2u);
+  EXPECT_EQ(PackedSequence::bytes_for(8), 2u);
+}
+
+TEST(PackedReaderTest, SequentialExtractionMatchesAt) {
+  Xoshiro256 rng(31);
+  const std::string seq = testing::random_dna(rng, 257);
+  PackedSequence p = PackedSequence::pack(seq);
+  PackedReader reader(p.bytes());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(reader.next(), p.at(i)) << "index " << i;
+  }
+}
+
+TEST(PackedReaderTest, StartOffsetMidByte) {
+  Xoshiro256 rng(37);
+  const std::string seq = testing::random_dna(rng, 64);
+  PackedSequence p = PackedSequence::pack(seq);
+  for (std::size_t start : {0u, 1u, 2u, 3u, 4u, 5u, 31u}) {
+    PackedReader reader(p.bytes(), start);
+    for (std::size_t i = start; i < p.size(); ++i) {
+      ASSERT_EQ(reader.next(), p.at(i)) << "start " << start << " i " << i;
+    }
+  }
+}
+
+// Property sweep: round-trip across many random lengths/seeds.
+class PackedRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedRoundTrip, RandomSequences) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t len = 1 + rng.below(2000);
+  const std::string seq = testing::random_dna(rng, len);
+  PackedSequence p = PackedSequence::pack(seq);
+  EXPECT_EQ(p.unpack(), seq);
+  PackedReader reader(p.bytes());
+  for (std::size_t i = 0; i < len; ++i) {
+    ASSERT_EQ(decode_base(reader.next()), seq[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedRoundTrip, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pimnw::dna

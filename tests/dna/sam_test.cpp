@@ -1,0 +1,73 @@
+#include "dna/sam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pimnw::dna {
+namespace {
+
+SamRecord mapped_record() {
+  SamRecord record;
+  record.qname = "read1";
+  record.rname = "ref1";
+  record.cigar = Cigar::parse("3=1X2=");
+  record.sequence = "ACGTAC";
+  record.score = 8;
+  return record;
+}
+
+TEST(SamTest, MappedLineFields) {
+  const std::string line = sam_line(mapped_record());
+  std::istringstream in(line);
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(in, field, '\t')) fields.push_back(field);
+  ASSERT_GE(fields.size(), 12u);
+  EXPECT_EQ(fields[0], "read1");
+  EXPECT_EQ(fields[1], "0");      // FLAG
+  EXPECT_EQ(fields[2], "ref1");   // RNAME
+  EXPECT_EQ(fields[3], "1");      // POS (global alignment)
+  EXPECT_EQ(fields[4], "255");    // MAPQ unknown
+  EXPECT_EQ(fields[5], "3=1X2="); // CIGAR
+  EXPECT_EQ(fields[9], "ACGTAC"); // SEQ
+  EXPECT_EQ(fields[11], "AS:i:8");
+}
+
+TEST(SamTest, UnmappedRecordUsesFlag4) {
+  SamRecord record;
+  record.qname = "lost";
+  record.sequence = "ACGT";
+  record.mapped = false;
+  const std::string line = sam_line(record);
+  EXPECT_NE(line.find("lost\t4\t*\t0\t0\t*"), std::string::npos);
+  EXPECT_NE(line.find("ACGT"), std::string::npos);
+}
+
+TEST(SamTest, SpanMismatchRejected) {
+  SamRecord record = mapped_record();
+  record.sequence = "ACG";  // cigar consumes 6
+  EXPECT_THROW(sam_line(record), CheckError);
+}
+
+TEST(SamTest, HeaderAndRecords) {
+  std::ostringstream out;
+  write_sam(out, {{"ref1", 100}, {"ref2", 200}},
+            {mapped_record()}, "pimnw-test");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("@HD\tVN:1.6"), std::string::npos);
+  EXPECT_NE(text.find("@SQ\tSN:ref1\tLN:100"), std::string::npos);
+  EXPECT_NE(text.find("@SQ\tSN:ref2\tLN:200"), std::string::npos);
+  EXPECT_NE(text.find("@PG\tID:pimnw-test"), std::string::npos);
+  EXPECT_NE(text.find("read1\t0\tref1"), std::string::npos);
+}
+
+TEST(SamTest, ZeroLengthReferenceRejected) {
+  std::ostringstream out;
+  EXPECT_THROW(write_sam(out, {{"bad", 0}}, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace pimnw::dna

@@ -1,0 +1,47 @@
+// Shared helpers for tests: small random-DNA and mutation utilities.
+// (The full dataset generators live in src/data; these are intentionally
+// minimal so low-level tests don't depend on that module.)
+#pragma once
+
+#include <string>
+
+#include "dna/alphabet.hpp"
+#include "util/rng.hpp"
+
+namespace pimnw::testing {
+
+inline std::string random_dna(Xoshiro256& rng, std::size_t len) {
+  std::string out(len, '\0');
+  for (auto& c : out) {
+    c = dna::decode_base(static_cast<dna::Code>(rng.below(4)));
+  }
+  return out;
+}
+
+/// Apply point errors to `seq`: each base independently mutated with
+/// probability `rate`; an error is a substitution / 1-base insertion /
+/// 1-base deletion with probability 0.6 / 0.2 / 0.2.
+inline std::string mutate(Xoshiro256& rng, const std::string& seq,
+                          double rate) {
+  std::string out;
+  out.reserve(seq.size() + 16);
+  for (char c : seq) {
+    if (!rng.chance(rate)) {
+      out.push_back(c);
+      continue;
+    }
+    const double kind = rng.uniform();
+    if (kind < 0.6) {  // substitution with a *different* base
+      const auto old_code = dna::encode_base(c);
+      const auto new_code =
+          static_cast<dna::Code>((old_code + 1 + rng.below(3)) % 4);
+      out.push_back(dna::decode_base(new_code));
+    } else if (kind < 0.8) {  // insertion
+      out.push_back(c);
+      out.push_back(dna::decode_base(static_cast<dna::Code>(rng.below(4))));
+    }  // else deletion: drop the base
+  }
+  return out;
+}
+
+}  // namespace pimnw::testing

@@ -1,0 +1,117 @@
+#include "upmem/host_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+namespace {
+
+/// Kernel that doubles a uint64 found at MRAM offset 0 into offset 64.
+class DoubleKernel : public DpuProgram {
+ public:
+  void run(DpuContext& ctx) override {
+    const std::uint64_t buf = ctx.wram.alloc(8);
+    ctx.mram_read(0, buf, 8);
+    ctx.cost.pool(0).dma(8);
+    std::uint64_t value;
+    std::memcpy(&value, ctx.wram.raw(buf, 8), 8);
+    value *= 2;
+    std::memcpy(ctx.wram.raw(buf, 8), &value, 8);
+    ctx.mram_write(buf, 64, 8);
+    ctx.cost.pool(0).dma(8);
+    ctx.cost.pool(0).serial(10);
+  }
+};
+
+std::vector<std::uint8_t> u64_bytes(std::uint64_t value) {
+  std::vector<std::uint8_t> bytes(8);
+  std::memcpy(bytes.data(), &value, 8);
+  return bytes;
+}
+
+std::uint64_t u64_of(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t value;
+  std::memcpy(&value, bytes.data(), 8);
+  return value;
+}
+
+TEST(DpuSetTest, AllocateAndCounts) {
+  DpuSet set = DpuSet::allocate_ranks(3);
+  EXPECT_EQ(set.nr_ranks(), 3);
+  EXPECT_EQ(set.nr_dpus(), 192);
+}
+
+TEST(DpuSetTest, ScatterExecGatherRoundTrip) {
+  DpuSet set = DpuSet::allocate_ranks(2);
+  std::vector<std::vector<std::uint8_t>> buffers(
+      static_cast<std::size_t>(set.nr_dpus()));
+  for (std::size_t d = 0; d < buffers.size(); ++d) {
+    buffers[d] = u64_bytes(d + 1);
+  }
+  const TransferStats in = set.copy_to(0, buffers);
+  EXPECT_EQ(in.bytes, buffers.size() * 8);
+
+  const DpuSet::ExecStats exec = set.exec(
+      [](int, int) { return std::make_unique<DoubleKernel>(); }, 1, 11);
+  EXPECT_EQ(exec.per_rank.size(), 2u);
+  EXPECT_GT(exec.seconds, 0.0);
+
+  std::vector<std::uint64_t> sizes(buffers.size(), 8);
+  std::vector<std::vector<std::uint8_t>> out;
+  const TransferStats gather = set.copy_from(64, sizes, out);
+  EXPECT_EQ(gather.bytes, buffers.size() * 8);
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    EXPECT_EQ(u64_of(out[d]), 2 * (d + 1)) << "dpu " << d;
+  }
+}
+
+TEST(DpuSetTest, BroadcastReachesEveryDpu) {
+  DpuSet set = DpuSet::allocate_ranks(2);
+  const auto payload = u64_bytes(777);
+  const TransferStats stats = set.broadcast(128, payload);
+  EXPECT_EQ(stats.bytes, 8ull * 128);
+  std::vector<std::uint8_t> back(8);
+  set.system().rank(1).dpu(63).mram().read(128, back);
+  EXPECT_EQ(u64_of(back), 777u);
+}
+
+TEST(DpuSetTest, RankSubsetTargetsOneRank) {
+  DpuSet set = DpuSet::allocate_ranks(2);
+  DpuSet rank1 = set.rank_subset(1);
+  EXPECT_EQ(rank1.nr_dpus(), 64);
+
+  std::vector<std::vector<std::uint8_t>> buffers(64);
+  buffers[0] = u64_bytes(5);
+  (void)rank1.copy_to(0, buffers);
+  // The write landed on rank 1's DPU 0, not rank 0's.
+  std::vector<std::uint8_t> back(8);
+  set.system().rank(1).dpu(0).mram().read(0, back);
+  EXPECT_EQ(u64_of(back), 5u);
+  set.system().rank(0).dpu(0).mram().read(0, back);
+  EXPECT_EQ(u64_of(back), 0u);
+
+  EXPECT_THROW(set.rank_subset(2), CheckError);
+}
+
+TEST(DpuSetTest, NullFactoryIdlesDpus) {
+  DpuSet set = DpuSet::allocate_ranks(1);
+  const DpuSet::ExecStats exec = set.exec(
+      [](int, int dpu) -> std::unique_ptr<DpuProgram> {
+        if (dpu % 2 == 1) return nullptr;
+        return std::make_unique<DoubleKernel>();
+      },
+      1, 11);
+  EXPECT_EQ(exec.per_rank[0].active_dpus, 32);
+}
+
+TEST(DpuSetTest, OversizedBufferListRejected) {
+  DpuSet set = DpuSet::allocate_ranks(1);
+  std::vector<std::vector<std::uint8_t>> buffers(65);
+  EXPECT_THROW(set.copy_to(0, buffers), CheckError);
+}
+
+}  // namespace
+}  // namespace pimnw::upmem

@@ -1,0 +1,77 @@
+#include "upmem/mram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+namespace {
+
+TEST(MramTest, WriteReadRoundTrip) {
+  Mram mram;
+  std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  mram.write(100, data);
+  std::vector<std::uint8_t> back(5);
+  mram.read(100, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(MramTest, UnwrittenBytesReadZero) {
+  Mram mram;
+  std::vector<std::uint8_t> back(8, 0xAA);
+  mram.read(1024, back);
+  for (auto byte : back) EXPECT_EQ(byte, 0);
+}
+
+TEST(MramTest, CapacityIs64MB) {
+  Mram mram;
+  EXPECT_EQ(mram.capacity(), 64ull * 1024 * 1024);
+}
+
+TEST(MramTest, WriteBeyondBankThrows) {
+  Mram mram;
+  std::vector<std::uint8_t> data(16);
+  EXPECT_THROW(mram.write(mram.capacity() - 8, data), CheckError);
+  EXPECT_NO_THROW(mram.write(mram.capacity() - 16, data));
+}
+
+TEST(MramTest, ReadBeyondBankThrows) {
+  Mram mram;
+  std::vector<std::uint8_t> out(16);
+  EXPECT_THROW(mram.read(mram.capacity() - 8, out), CheckError);
+}
+
+TEST(MramTest, FootprintGrowsLazily) {
+  Mram mram;
+  EXPECT_EQ(mram.footprint(), 0u);
+  std::vector<std::uint8_t> data(8);
+  mram.write(0, data);
+  EXPECT_GT(mram.footprint(), 0u);
+  EXPECT_LT(mram.footprint(), 4ull * 1024 * 1024)
+      << "a small write must not materialise the whole bank";
+}
+
+TEST(MramTest, DmaRulesEnforced) {
+  Mram mram;
+  EXPECT_NO_THROW(mram.check_dma(0, 8));
+  EXPECT_NO_THROW(mram.check_dma(64, 2048));
+  // Misaligned address.
+  EXPECT_THROW(mram.check_dma(4, 8), CheckError);
+  // Size not a multiple of 8.
+  EXPECT_THROW(mram.check_dma(0, 12), CheckError);
+  // Size out of the 8..2048 window.
+  EXPECT_THROW(mram.check_dma(0, 0), CheckError);
+  EXPECT_THROW(mram.check_dma(0, 2056), CheckError);
+  // Out of bank.
+  EXPECT_THROW(mram.check_dma(mram.capacity() - 8, 16), CheckError);
+}
+
+TEST(MramTest, ZeroLengthHostAccessOk) {
+  Mram mram;
+  std::vector<std::uint8_t> empty;
+  EXPECT_NO_THROW(mram.write(0, empty));
+  EXPECT_NO_THROW(mram.read(0, std::span<std::uint8_t>{}));
+}
+
+}  // namespace
+}  // namespace pimnw::upmem

@@ -1,0 +1,83 @@
+#include "upmem/wram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pimnw::upmem {
+namespace {
+
+TEST(WramTest, CapacityIs64KB) {
+  Wram wram;
+  EXPECT_EQ(wram.capacity(), 64ull * 1024);
+}
+
+TEST(WramTest, AllocationsAreEightByteAligned) {
+  Wram wram;
+  const auto a = wram.alloc(3);
+  const auto b = wram.alloc(5);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_EQ(b - a, 8u);
+}
+
+TEST(WramTest, ExhaustionThrows) {
+  Wram wram;
+  (void)wram.alloc(60 * 1024);
+  EXPECT_THROW(wram.alloc(8 * 1024), CheckError);
+  // But a fitting allocation still works.
+  EXPECT_NO_THROW(wram.alloc(1024));
+}
+
+TEST(WramTest, PaperScenarioThreeFullMatricesDoNotFit) {
+  // §3.3: three full 10k x 10k score matrices can never fit; even three
+  // anti-diagonal arrays of 10k ints blow the 64 KB scratchpad.
+  Wram wram;
+  EXPECT_THROW(
+      {
+        for (int arr = 0; arr < 3; ++arr) {
+          (void)wram.alloc_array<std::int32_t>(10'000);
+        }
+      },
+      CheckError);
+}
+
+TEST(WramTest, PaperScenarioBandArraysFit) {
+  // §4.2.1: four anti-diagonal arrays of w=128 ints fit easily — for all
+  // six pools.
+  Wram wram;
+  for (int pool = 0; pool < 6; ++pool) {
+    for (int arr = 0; arr < 4; ++arr) {
+      EXPECT_NO_THROW(wram.alloc_array<std::int32_t>(128));
+    }
+  }
+  EXPECT_LT(wram.used(), wram.capacity() / 4);
+}
+
+TEST(WramTest, ViewReflectsWrites) {
+  Wram wram;
+  auto addr = wram.alloc(16);
+  auto span = wram.view<std::uint32_t>(addr, 4);
+  span[2] = 0xDEADBEEF;
+  EXPECT_EQ(wram.view<std::uint32_t>(addr, 4)[2], 0xDEADBEEF);
+}
+
+TEST(WramTest, OutOfRangeViewThrows) {
+  Wram wram;
+  EXPECT_THROW(wram.view<std::uint8_t>(wram.capacity() - 4, 8), CheckError);
+  EXPECT_THROW(wram.raw(wram.capacity(), 1), CheckError);
+}
+
+TEST(WramTest, ResetReclaimsAndZeroes) {
+  Wram wram;
+  auto addr = wram.alloc(8);
+  wram.view<std::uint64_t>(addr, 1)[0] = 42;
+  wram.reset();
+  EXPECT_EQ(wram.used(), 0u);
+  auto addr2 = wram.alloc(8);
+  EXPECT_EQ(addr2, addr);
+  EXPECT_EQ(wram.view<std::uint64_t>(addr2, 1)[0], 0u);
+}
+
+}  // namespace
+}  // namespace pimnw::upmem

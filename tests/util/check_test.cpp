@@ -1,0 +1,32 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimnw {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PIMNW_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(PIMNW_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, MessageCarriesExpressionAndDetail) {
+  try {
+    PIMNW_CHECK_MSG(2 > 3, "two is not more than " << 3);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not more than 3"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckErrorIsLogicError) {
+  EXPECT_THROW(PIMNW_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pimnw

@@ -1,0 +1,124 @@
+#include "util/cli.hpp"
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pimnw {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.flag("pairs", std::int64_t{100}, "number of pairs")
+      .flag("rate", 0.05, "error rate")
+      .flag("verbose", false, "chatty output")
+      .flag("out", std::string("a.txt"), "output path");
+  return cli;
+}
+
+void parse(Cli& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliTest, DefaultsApply) {
+  Cli cli = make_cli();
+  parse(cli, {});
+  EXPECT_EQ(cli.get_int("pairs"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.05);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_string("out"), "a.txt");
+}
+
+TEST(CliTest, EqualsSyntax) {
+  Cli cli = make_cli();
+  parse(cli, {"--pairs=250", "--rate=0.1", "--out=b.txt"});
+  EXPECT_EQ(cli.get_int("pairs"), 250);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.1);
+  EXPECT_EQ(cli.get_string("out"), "b.txt");
+}
+
+TEST(CliTest, SpaceSyntax) {
+  Cli cli = make_cli();
+  parse(cli, {"--pairs", "7"});
+  EXPECT_EQ(cli.get_int("pairs"), 7);
+}
+
+TEST(CliTest, BareBoolFlagSetsTrue) {
+  Cli cli = make_cli();
+  parse(cli, {"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, BoolAcceptsExplicitValues) {
+  Cli cli = make_cli();
+  parse(cli, {"--verbose=true"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  Cli cli2 = make_cli();
+  parse(cli2, {"--verbose=0"});
+  EXPECT_FALSE(cli2.get_bool("verbose"));
+}
+
+TEST(CliTest, UnknownFlagThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"--nope=1"}), std::invalid_argument);
+}
+
+TEST(CliTest, MalformedIntThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"--pairs=12x"}), std::invalid_argument);
+}
+
+TEST(CliTest, MalformedBoolThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"--verbose=maybe"}), std::invalid_argument);
+}
+
+TEST(CliTest, MissingValueThrows) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"--pairs"}), std::invalid_argument);
+}
+
+TEST(CliTest, NegativeNumbers) {
+  Cli cli = make_cli();
+  parse(cli, {"--pairs=-3", "--rate=-0.5"});
+  EXPECT_EQ(cli.get_int("pairs"), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), -0.5);
+}
+
+TEST(CliTest, WrongTypeAccessIsAnError) {
+  Cli cli = make_cli();
+  parse(cli, {});
+  EXPECT_THROW((void)cli.get_int("rate"), CheckError);
+  EXPECT_THROW((void)cli.get_bool("pairs"), CheckError);
+}
+
+TEST(CliTest, UnregisteredAccessIsAnError) {
+  Cli cli = make_cli();
+  parse(cli, {});
+  EXPECT_THROW((void)cli.get_int("missing"), CheckError);
+}
+
+TEST(CliTest, DuplicateRegistrationIsAnError) {
+  Cli cli("p", "d");
+  cli.flag("x", std::int64_t{1}, "first");
+  EXPECT_THROW(cli.flag("x", 2.0, "second"), CheckError);
+}
+
+TEST(CliTest, UsageListsFlags) {
+  Cli cli = make_cli();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--pairs"), std::string::npos);
+  EXPECT_NE(usage.find("--rate"), std::string::npos);
+  EXPECT_NE(usage.find("error rate"), std::string::npos);
+}
+
+TEST(CliTest, PositionalArgumentRejected) {
+  Cli cli = make_cli();
+  EXPECT_THROW(parse(cli, {"stray"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimnw

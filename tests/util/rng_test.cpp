@@ -1,0 +1,116 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace pimnw {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowRejectsZeroBound) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(rng.below(0), CheckError);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Xoshiro256 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u) << "all values of a small range should appear";
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.02);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(23);
+  std::array<int, 8> buckets{};
+  const int kN = 80000;
+  for (int i = 0; i < kN; ++i) {
+    ++buckets[rng.below(8)];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(static_cast<double>(count) / kN, 0.125, 0.01);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Xoshiro256 parent(99);
+  Xoshiro256 child = parent.fork();
+  // The child must not replay the parent's stream.
+  Xoshiro256 parent2(99);
+  (void)parent2.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitmixAdvancesState) {
+  std::uint64_t s = 5;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace pimnw

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimnw {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable table("Demo");
+  table.header({"name", "time"});
+  table.row({"cpu", "1.5"});
+  table.row({"dpu", "0.3"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("cpu"), std::string::npos);
+  EXPECT_NE(out.find("0.3"), std::string::npos);
+}
+
+TEST(TableTest, MismatchedRowWidthThrows) {
+  TextTable table("Demo");
+  table.header({"a", "b"});
+  EXPECT_THROW(table.row({"only-one"}), CheckError);
+}
+
+TEST(TableTest, WorksWithoutHeader) {
+  TextTable table("NoHeader");
+  table.row({"x", "y", "z"});
+  EXPECT_NE(table.render().find("x"), std::string::npos);
+}
+
+TEST(TableTest, FmtSecondsPicksPrecisionByMagnitude) {
+  EXPECT_EQ(fmt_seconds(123.4), "123");
+  EXPECT_EQ(fmt_seconds(12.34), "12.3");
+  EXPECT_EQ(fmt_seconds(0.1234), "0.123");
+}
+
+TEST(TableTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+TEST(TableTest, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(fmt_percent(0.987, 0), "99%");
+}
+
+TEST(TableTest, FmtCountInsertsThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace pimnw

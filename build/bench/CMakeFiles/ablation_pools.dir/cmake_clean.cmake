@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pools.dir/ablation_pools.cpp.o"
+  "CMakeFiles/ablation_pools.dir/ablation_pools.cpp.o.d"
+  "ablation_pools"
+  "ablation_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_hetero.dir/extension_hetero.cpp.o"
+  "CMakeFiles/extension_hetero.dir/extension_hetero.cpp.o.d"
+  "extension_hetero"
+  "extension_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_band_geometry.dir/fig3_band_geometry.cpp.o"
+  "CMakeFiles/fig3_band_geometry.dir/fig3_band_geometry.cpp.o.d"
+  "fig3_band_geometry"
+  "fig3_band_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_band_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

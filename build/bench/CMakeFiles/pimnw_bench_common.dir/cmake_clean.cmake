@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/pimnw_bench_common.dir/common/bench_common.cpp.o.d"
+  "libpimnw_bench_common.a"
+  "libpimnw_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimnw_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_s1000.dir/table2_s1000.cpp.o"
+  "CMakeFiles/table2_s1000.dir/table2_s1000.cpp.o.d"
+  "table2_s1000"
+  "table2_s1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_s1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

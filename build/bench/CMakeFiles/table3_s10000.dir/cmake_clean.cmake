@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_s10000.dir/table3_s10000.cpp.o"
+  "CMakeFiles/table3_s10000.dir/table3_s10000.cpp.o.d"
+  "table3_s10000"
+  "table3_s10000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_s10000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

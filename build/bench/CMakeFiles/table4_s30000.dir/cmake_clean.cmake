@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_s30000.dir/table4_s30000.cpp.o"
+  "CMakeFiles/table4_s30000.dir/table4_s30000.cpp.o.d"
+  "table4_s30000"
+  "table4_s30000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_s30000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_16s.dir/table5_16s.cpp.o"
+  "CMakeFiles/table5_16s.dir/table5_16s.cpp.o.d"
+  "table5_16s"
+  "table5_16s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_16s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_pacbio.dir/table6_pacbio.cpp.o"
+  "CMakeFiles/table6_pacbio.dir/table6_pacbio.cpp.o.d"
+  "table6_pacbio"
+  "table6_pacbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pacbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_asm.dir/table7_asm.cpp.o"
+  "CMakeFiles/table7_asm.dir/table7_asm.cpp.o.d"
+  "table7_asm"
+  "table7_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_energy.dir/table8_energy.cpp.o"
+  "CMakeFiles/table8_energy.dir/table8_energy.cpp.o.d"
+  "table8_energy"
+  "table8_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_fasta.dir/align_fasta.cpp.o"
+  "CMakeFiles/align_fasta.dir/align_fasta.cpp.o.d"
+  "align_fasta"
+  "align_fasta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_fasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_pacbio.dir/consensus_pacbio.cpp.o"
+  "CMakeFiles/consensus_pacbio.dir/consensus_pacbio.cpp.o.d"
+  "consensus_pacbio"
+  "consensus_pacbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_pacbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_hello.dir/dpu_hello.cpp.o"
+  "CMakeFiles/dpu_hello.dir/dpu_hello.cpp.o.d"
+  "dpu_hello"
+  "dpu_hello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_hello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylogeny_16s.dir/phylogeny_16s.cpp.o"
+  "CMakeFiles/phylogeny_16s.dir/phylogeny_16s.cpp.o.d"
+  "phylogeny_16s"
+  "phylogeny_16s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylogeny_16s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for phylogeny_16s.
+# This may be replaced when dependencies are built.

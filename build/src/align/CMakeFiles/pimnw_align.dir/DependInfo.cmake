@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/banded_adaptive.cpp" "src/align/CMakeFiles/pimnw_align.dir/banded_adaptive.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/banded_adaptive.cpp.o.d"
+  "/root/repo/src/align/banded_static.cpp" "src/align/CMakeFiles/pimnw_align.dir/banded_static.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/banded_static.cpp.o.d"
+  "/root/repo/src/align/edit_distance.cpp" "src/align/CMakeFiles/pimnw_align.dir/edit_distance.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/edit_distance.cpp.o.d"
+  "/root/repo/src/align/nw_full.cpp" "src/align/CMakeFiles/pimnw_align.dir/nw_full.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/nw_full.cpp.o.d"
+  "/root/repo/src/align/scoring.cpp" "src/align/CMakeFiles/pimnw_align.dir/scoring.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/scoring.cpp.o.d"
+  "/root/repo/src/align/verify.cpp" "src/align/CMakeFiles/pimnw_align.dir/verify.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/verify.cpp.o.d"
+  "/root/repo/src/align/wfa.cpp" "src/align/CMakeFiles/pimnw_align.dir/wfa.cpp.o" "gcc" "src/align/CMakeFiles/pimnw_align.dir/wfa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_align.dir/banded_adaptive.cpp.o"
+  "CMakeFiles/pimnw_align.dir/banded_adaptive.cpp.o.d"
+  "CMakeFiles/pimnw_align.dir/banded_static.cpp.o"
+  "CMakeFiles/pimnw_align.dir/banded_static.cpp.o.d"
+  "CMakeFiles/pimnw_align.dir/edit_distance.cpp.o"
+  "CMakeFiles/pimnw_align.dir/edit_distance.cpp.o.d"
+  "CMakeFiles/pimnw_align.dir/nw_full.cpp.o"
+  "CMakeFiles/pimnw_align.dir/nw_full.cpp.o.d"
+  "CMakeFiles/pimnw_align.dir/scoring.cpp.o"
+  "CMakeFiles/pimnw_align.dir/scoring.cpp.o.d"
+  "CMakeFiles/pimnw_align.dir/verify.cpp.o"
+  "CMakeFiles/pimnw_align.dir/verify.cpp.o.d"
+  "CMakeFiles/pimnw_align.dir/wfa.cpp.o"
+  "CMakeFiles/pimnw_align.dir/wfa.cpp.o.d"
+  "libpimnw_align.a"
+  "libpimnw_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

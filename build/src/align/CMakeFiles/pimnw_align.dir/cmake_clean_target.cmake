@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimnw_align.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/batch.cpp" "src/baseline/CMakeFiles/pimnw_baseline.dir/batch.cpp.o" "gcc" "src/baseline/CMakeFiles/pimnw_baseline.dir/batch.cpp.o.d"
+  "/root/repo/src/baseline/ksw2_like.cpp" "src/baseline/CMakeFiles/pimnw_baseline.dir/ksw2_like.cpp.o" "gcc" "src/baseline/CMakeFiles/pimnw_baseline.dir/ksw2_like.cpp.o.d"
+  "/root/repo/src/baseline/xeon_model.cpp" "src/baseline/CMakeFiles/pimnw_baseline.dir/xeon_model.cpp.o" "gcc" "src/baseline/CMakeFiles/pimnw_baseline.dir/xeon_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/pimnw_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_baseline.dir/batch.cpp.o"
+  "CMakeFiles/pimnw_baseline.dir/batch.cpp.o.d"
+  "CMakeFiles/pimnw_baseline.dir/ksw2_like.cpp.o"
+  "CMakeFiles/pimnw_baseline.dir/ksw2_like.cpp.o.d"
+  "CMakeFiles/pimnw_baseline.dir/xeon_model.cpp.o"
+  "CMakeFiles/pimnw_baseline.dir/xeon_model.cpp.o.d"
+  "libpimnw_baseline.a"
+  "libpimnw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dpu_kernel.cpp" "src/core/CMakeFiles/pimnw_core.dir/dpu_kernel.cpp.o" "gcc" "src/core/CMakeFiles/pimnw_core.dir/dpu_kernel.cpp.o.d"
+  "/root/repo/src/core/host.cpp" "src/core/CMakeFiles/pimnw_core.dir/host.cpp.o" "gcc" "src/core/CMakeFiles/pimnw_core.dir/host.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/core/CMakeFiles/pimnw_core.dir/load_balance.cpp.o" "gcc" "src/core/CMakeFiles/pimnw_core.dir/load_balance.cpp.o.d"
+  "/root/repo/src/core/mram_layout.cpp" "src/core/CMakeFiles/pimnw_core.dir/mram_layout.cpp.o" "gcc" "src/core/CMakeFiles/pimnw_core.dir/mram_layout.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/pimnw_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/pimnw_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/pimnw_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/pimnw_core.dir/projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/pimnw_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmem/CMakeFiles/pimnw_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_core.dir/dpu_kernel.cpp.o"
+  "CMakeFiles/pimnw_core.dir/dpu_kernel.cpp.o.d"
+  "CMakeFiles/pimnw_core.dir/host.cpp.o"
+  "CMakeFiles/pimnw_core.dir/host.cpp.o.d"
+  "CMakeFiles/pimnw_core.dir/load_balance.cpp.o"
+  "CMakeFiles/pimnw_core.dir/load_balance.cpp.o.d"
+  "CMakeFiles/pimnw_core.dir/mram_layout.cpp.o"
+  "CMakeFiles/pimnw_core.dir/mram_layout.cpp.o.d"
+  "CMakeFiles/pimnw_core.dir/params.cpp.o"
+  "CMakeFiles/pimnw_core.dir/params.cpp.o.d"
+  "CMakeFiles/pimnw_core.dir/projection.cpp.o"
+  "CMakeFiles/pimnw_core.dir/projection.cpp.o.d"
+  "libpimnw_core.a"
+  "libpimnw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/mutate.cpp" "src/data/CMakeFiles/pimnw_data.dir/mutate.cpp.o" "gcc" "src/data/CMakeFiles/pimnw_data.dir/mutate.cpp.o.d"
+  "/root/repo/src/data/pacbio.cpp" "src/data/CMakeFiles/pimnw_data.dir/pacbio.cpp.o" "gcc" "src/data/CMakeFiles/pimnw_data.dir/pacbio.cpp.o.d"
+  "/root/repo/src/data/phylo16s.cpp" "src/data/CMakeFiles/pimnw_data.dir/phylo16s.cpp.o" "gcc" "src/data/CMakeFiles/pimnw_data.dir/phylo16s.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/pimnw_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/pimnw_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

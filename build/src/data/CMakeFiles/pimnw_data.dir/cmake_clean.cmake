@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_data.dir/mutate.cpp.o"
+  "CMakeFiles/pimnw_data.dir/mutate.cpp.o.d"
+  "CMakeFiles/pimnw_data.dir/pacbio.cpp.o"
+  "CMakeFiles/pimnw_data.dir/pacbio.cpp.o.d"
+  "CMakeFiles/pimnw_data.dir/phylo16s.cpp.o"
+  "CMakeFiles/pimnw_data.dir/phylo16s.cpp.o.d"
+  "CMakeFiles/pimnw_data.dir/synthetic.cpp.o"
+  "CMakeFiles/pimnw_data.dir/synthetic.cpp.o.d"
+  "libpimnw_data.a"
+  "libpimnw_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

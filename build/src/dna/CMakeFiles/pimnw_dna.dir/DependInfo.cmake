@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dna/alphabet.cpp" "src/dna/CMakeFiles/pimnw_dna.dir/alphabet.cpp.o" "gcc" "src/dna/CMakeFiles/pimnw_dna.dir/alphabet.cpp.o.d"
+  "/root/repo/src/dna/cigar.cpp" "src/dna/CMakeFiles/pimnw_dna.dir/cigar.cpp.o" "gcc" "src/dna/CMakeFiles/pimnw_dna.dir/cigar.cpp.o.d"
+  "/root/repo/src/dna/fasta.cpp" "src/dna/CMakeFiles/pimnw_dna.dir/fasta.cpp.o" "gcc" "src/dna/CMakeFiles/pimnw_dna.dir/fasta.cpp.o.d"
+  "/root/repo/src/dna/packed_sequence.cpp" "src/dna/CMakeFiles/pimnw_dna.dir/packed_sequence.cpp.o" "gcc" "src/dna/CMakeFiles/pimnw_dna.dir/packed_sequence.cpp.o.d"
+  "/root/repo/src/dna/sam.cpp" "src/dna/CMakeFiles/pimnw_dna.dir/sam.cpp.o" "gcc" "src/dna/CMakeFiles/pimnw_dna.dir/sam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_dna.dir/alphabet.cpp.o"
+  "CMakeFiles/pimnw_dna.dir/alphabet.cpp.o.d"
+  "CMakeFiles/pimnw_dna.dir/cigar.cpp.o"
+  "CMakeFiles/pimnw_dna.dir/cigar.cpp.o.d"
+  "CMakeFiles/pimnw_dna.dir/fasta.cpp.o"
+  "CMakeFiles/pimnw_dna.dir/fasta.cpp.o.d"
+  "CMakeFiles/pimnw_dna.dir/packed_sequence.cpp.o"
+  "CMakeFiles/pimnw_dna.dir/packed_sequence.cpp.o.d"
+  "CMakeFiles/pimnw_dna.dir/sam.cpp.o"
+  "CMakeFiles/pimnw_dna.dir/sam.cpp.o.d"
+  "libpimnw_dna.a"
+  "libpimnw_dna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upmem/cost_model.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/cost_model.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/cost_model.cpp.o.d"
+  "/root/repo/src/upmem/dpu.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/dpu.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/dpu.cpp.o.d"
+  "/root/repo/src/upmem/host_api.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/host_api.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/host_api.cpp.o.d"
+  "/root/repo/src/upmem/mram.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/mram.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/mram.cpp.o.d"
+  "/root/repo/src/upmem/rank.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/rank.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/rank.cpp.o.d"
+  "/root/repo/src/upmem/system.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/system.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/system.cpp.o.d"
+  "/root/repo/src/upmem/wram.cpp" "src/upmem/CMakeFiles/pimnw_upmem.dir/wram.cpp.o" "gcc" "src/upmem/CMakeFiles/pimnw_upmem.dir/wram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

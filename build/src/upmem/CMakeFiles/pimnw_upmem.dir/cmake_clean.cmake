@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_upmem.dir/cost_model.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pimnw_upmem.dir/dpu.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/dpu.cpp.o.d"
+  "CMakeFiles/pimnw_upmem.dir/host_api.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/host_api.cpp.o.d"
+  "CMakeFiles/pimnw_upmem.dir/mram.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/mram.cpp.o.d"
+  "CMakeFiles/pimnw_upmem.dir/rank.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/rank.cpp.o.d"
+  "CMakeFiles/pimnw_upmem.dir/system.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/system.cpp.o.d"
+  "CMakeFiles/pimnw_upmem.dir/wram.cpp.o"
+  "CMakeFiles/pimnw_upmem.dir/wram.cpp.o.d"
+  "libpimnw_upmem.a"
+  "libpimnw_upmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_upmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

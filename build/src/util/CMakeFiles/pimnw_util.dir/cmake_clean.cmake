@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimnw_util.dir/cli.cpp.o"
+  "CMakeFiles/pimnw_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pimnw_util.dir/logging.cpp.o"
+  "CMakeFiles/pimnw_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pimnw_util.dir/table.cpp.o"
+  "CMakeFiles/pimnw_util.dir/table.cpp.o.d"
+  "CMakeFiles/pimnw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/pimnw_util.dir/thread_pool.cpp.o.d"
+  "libpimnw_util.a"
+  "libpimnw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimnw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/banded_adaptive_test.cpp" "tests/CMakeFiles/align_test.dir/align/banded_adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/banded_adaptive_test.cpp.o.d"
+  "/root/repo/tests/align/banded_static_test.cpp" "tests/CMakeFiles/align_test.dir/align/banded_static_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/banded_static_test.cpp.o.d"
+  "/root/repo/tests/align/edit_distance_test.cpp" "tests/CMakeFiles/align_test.dir/align/edit_distance_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/edit_distance_test.cpp.o.d"
+  "/root/repo/tests/align/nw_full_test.cpp" "tests/CMakeFiles/align_test.dir/align/nw_full_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/nw_full_test.cpp.o.d"
+  "/root/repo/tests/align/property_test.cpp" "tests/CMakeFiles/align_test.dir/align/property_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/property_test.cpp.o.d"
+  "/root/repo/tests/align/traceback_test.cpp" "tests/CMakeFiles/align_test.dir/align/traceback_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/traceback_test.cpp.o.d"
+  "/root/repo/tests/align/wfa_test.cpp" "tests/CMakeFiles/align_test.dir/align/wfa_test.cpp.o" "gcc" "tests/CMakeFiles/align_test.dir/align/wfa_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/pimnw_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

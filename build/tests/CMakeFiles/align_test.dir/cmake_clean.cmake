@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_test.dir/align/banded_adaptive_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/banded_adaptive_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/banded_static_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/banded_static_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/edit_distance_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/edit_distance_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/nw_full_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/nw_full_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/property_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/property_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/traceback_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/traceback_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/wfa_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/wfa_test.cpp.o.d"
+  "align_test"
+  "align_test.pdb"
+  "align_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

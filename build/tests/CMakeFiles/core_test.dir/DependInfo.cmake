@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/host_test.cpp" "tests/CMakeFiles/core_test.dir/core/host_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/host_test.cpp.o.d"
+  "/root/repo/tests/core/kernel_edge_test.cpp" "tests/CMakeFiles/core_test.dir/core/kernel_edge_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kernel_edge_test.cpp.o.d"
+  "/root/repo/tests/core/kernel_test.cpp" "tests/CMakeFiles/core_test.dir/core/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/kernel_test.cpp.o.d"
+  "/root/repo/tests/core/load_balance_test.cpp" "tests/CMakeFiles/core_test.dir/core/load_balance_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/load_balance_test.cpp.o.d"
+  "/root/repo/tests/core/mram_layout_test.cpp" "tests/CMakeFiles/core_test.dir/core/mram_layout_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/mram_layout_test.cpp.o.d"
+  "/root/repo/tests/core/projection_test.cpp" "tests/CMakeFiles/core_test.dir/core/projection_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/projection_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pimnw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pimnw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pimnw_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmem/CMakeFiles/pimnw_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

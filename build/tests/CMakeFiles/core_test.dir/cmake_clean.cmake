@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/host_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/host_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/kernel_edge_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/kernel_edge_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/kernel_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/kernel_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/load_balance_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/load_balance_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/mram_layout_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/mram_layout_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/projection_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/projection_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dna/alphabet_test.cpp" "tests/CMakeFiles/dna_test.dir/dna/alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/dna_test.dir/dna/alphabet_test.cpp.o.d"
+  "/root/repo/tests/dna/cigar_test.cpp" "tests/CMakeFiles/dna_test.dir/dna/cigar_test.cpp.o" "gcc" "tests/CMakeFiles/dna_test.dir/dna/cigar_test.cpp.o.d"
+  "/root/repo/tests/dna/fasta_test.cpp" "tests/CMakeFiles/dna_test.dir/dna/fasta_test.cpp.o" "gcc" "tests/CMakeFiles/dna_test.dir/dna/fasta_test.cpp.o.d"
+  "/root/repo/tests/dna/packed_sequence_test.cpp" "tests/CMakeFiles/dna_test.dir/dna/packed_sequence_test.cpp.o" "gcc" "tests/CMakeFiles/dna_test.dir/dna/packed_sequence_test.cpp.o.d"
+  "/root/repo/tests/dna/sam_test.cpp" "tests/CMakeFiles/dna_test.dir/dna/sam_test.cpp.o" "gcc" "tests/CMakeFiles/dna_test.dir/dna/sam_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dna/CMakeFiles/pimnw_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_test.dir/dna/alphabet_test.cpp.o"
+  "CMakeFiles/dna_test.dir/dna/alphabet_test.cpp.o.d"
+  "CMakeFiles/dna_test.dir/dna/cigar_test.cpp.o"
+  "CMakeFiles/dna_test.dir/dna/cigar_test.cpp.o.d"
+  "CMakeFiles/dna_test.dir/dna/fasta_test.cpp.o"
+  "CMakeFiles/dna_test.dir/dna/fasta_test.cpp.o.d"
+  "CMakeFiles/dna_test.dir/dna/packed_sequence_test.cpp.o"
+  "CMakeFiles/dna_test.dir/dna/packed_sequence_test.cpp.o.d"
+  "CMakeFiles/dna_test.dir/dna/sam_test.cpp.o"
+  "CMakeFiles/dna_test.dir/dna/sam_test.cpp.o.d"
+  "dna_test"
+  "dna_test.pdb"
+  "dna_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

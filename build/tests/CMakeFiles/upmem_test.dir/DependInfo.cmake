@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/upmem/cost_model_test.cpp" "tests/CMakeFiles/upmem_test.dir/upmem/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/upmem_test.dir/upmem/cost_model_test.cpp.o.d"
+  "/root/repo/tests/upmem/host_api_test.cpp" "tests/CMakeFiles/upmem_test.dir/upmem/host_api_test.cpp.o" "gcc" "tests/CMakeFiles/upmem_test.dir/upmem/host_api_test.cpp.o.d"
+  "/root/repo/tests/upmem/mram_test.cpp" "tests/CMakeFiles/upmem_test.dir/upmem/mram_test.cpp.o" "gcc" "tests/CMakeFiles/upmem_test.dir/upmem/mram_test.cpp.o.d"
+  "/root/repo/tests/upmem/system_test.cpp" "tests/CMakeFiles/upmem_test.dir/upmem/system_test.cpp.o" "gcc" "tests/CMakeFiles/upmem_test.dir/upmem/system_test.cpp.o.d"
+  "/root/repo/tests/upmem/wram_test.cpp" "tests/CMakeFiles/upmem_test.dir/upmem/wram_test.cpp.o" "gcc" "tests/CMakeFiles/upmem_test.dir/upmem/wram_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/upmem/CMakeFiles/pimnw_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pimnw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

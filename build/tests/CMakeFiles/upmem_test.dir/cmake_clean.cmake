@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upmem_test.dir/upmem/cost_model_test.cpp.o"
+  "CMakeFiles/upmem_test.dir/upmem/cost_model_test.cpp.o.d"
+  "CMakeFiles/upmem_test.dir/upmem/host_api_test.cpp.o"
+  "CMakeFiles/upmem_test.dir/upmem/host_api_test.cpp.o.d"
+  "CMakeFiles/upmem_test.dir/upmem/mram_test.cpp.o"
+  "CMakeFiles/upmem_test.dir/upmem/mram_test.cpp.o.d"
+  "CMakeFiles/upmem_test.dir/upmem/system_test.cpp.o"
+  "CMakeFiles/upmem_test.dir/upmem/system_test.cpp.o.d"
+  "CMakeFiles/upmem_test.dir/upmem/wram_test.cpp.o"
+  "CMakeFiles/upmem_test.dir/upmem/wram_test.cpp.o.d"
+  "upmem_test"
+  "upmem_test.pdb"
+  "upmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -2,9 +2,20 @@
 // kernels (full / static / adaptive / KSW2-like), 2-bit packing, and the
 // simulated DPU kernel end-to-end. These are not paper tables — they are
 // the performance regression harness for the library itself.
+//
+// The custom main() additionally times the simulator's SimPath variants
+// (scalar reference vs dense vs AVX2 auto) on a 10 kb pair at the paper's
+// band width and writes the cells/s comparison to BENCH_kernel.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "align/banded_adaptive.hpp"
+#include "core/kernel_simd.hpp"
 #include "align/banded_static.hpp"
 #include "align/edit_distance.hpp"
 #include "align/wfa.hpp"
@@ -141,6 +152,128 @@ void BM_DpuKernelSinglePair(benchmark::State& state) {
 }
 BENCHMARK(BM_DpuKernelSinglePair);
 
+/// Simulated DPU kernel under each SimPath, w=128, 10kb pair. Items = band
+/// cells, so the reported items/s is cells/s; divide by 1e9 for GCUPS.
+void BM_DpuKernelPath(benchmark::State& state) {
+  const auto [a, b] = make_pair_of(10000, 0.05);
+  core::PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = 128;
+  config.sim_path = static_cast<core::SimPath>(state.range(0));
+  config.align.traceback = state.range(1) != 0;
+  std::vector<core::PairInput> pairs = {{a, b}};
+  for (auto _ : state) {
+    core::PimAligner aligner(config);
+    std::vector<core::PairOutput> out;
+    (void)aligner.align_pairs(pairs, &out);
+    benchmark::DoNotOptimize(out[0].score);
+  }
+  state.SetLabel(std::string(core::sim_path_name(config.sim_path)) +
+                 (config.align.traceback ? "/traceback" : "/score-only"));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>((a.size() + b.size() + 1) * 128));
+}
+BENCHMARK(BM_DpuKernelPath)
+    ->Args({static_cast<int>(core::SimPath::kScalar), 0})
+    ->Args({static_cast<int>(core::SimPath::kDense), 0})
+    ->Args({static_cast<int>(core::SimPath::kAuto), 0})
+    ->Args({static_cast<int>(core::SimPath::kScalar), 1})
+    ->Args({static_cast<int>(core::SimPath::kDense), 1})
+    ->Args({static_cast<int>(core::SimPath::kAuto), 1});
+
+// ---------------------------------------------------------------------------
+// BENCH_kernel.json: scalar vs fast path cells/s on the acceptance workload.
+
+struct PathTiming {
+  double seconds = 0.0;
+  double cells_per_second = 0.0;
+};
+
+/// Best-of-N wall-clock of the full aligner run under `path`.
+PathTiming time_path(const std::vector<core::PairInput>& pairs,
+                     core::PimAlignerConfig config, core::SimPath path,
+                     double cells, int reps) {
+  config.sim_path = path;
+  PathTiming timing;
+  timing.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::PimAligner aligner(config);
+    std::vector<core::PairOutput> out;
+    const auto start = std::chrono::steady_clock::now();
+    (void)aligner.align_pairs(pairs, &out);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(out[0].score);
+    timing.seconds = std::min(
+        timing.seconds, std::chrono::duration<double>(stop - start).count());
+  }
+  timing.cells_per_second = cells / timing.seconds;
+  return timing;
+}
+
+void write_json_block(std::ofstream& os, const char* name,
+                      const PathTiming& scalar, const PathTiming& dense,
+                      const PathTiming& fast) {
+  auto entry = [&](const char* key, const PathTiming& t, const char* tail) {
+    os << "    \"" << key << "\": { \"seconds\": " << t.seconds
+       << ", \"cells_per_second\": " << t.cells_per_second
+       << ", \"gcups\": " << t.cells_per_second / 1e9 << " }" << tail << "\n";
+  };
+  os << "  \"" << name << "\": {\n";
+  entry("scalar", scalar, ",");
+  entry("dense", dense, ",");
+  entry("auto", fast, ",");
+  os << "    \"speedup_dense_vs_scalar\": "
+     << dense.cells_per_second / scalar.cells_per_second << ",\n";
+  os << "    \"speedup_auto_vs_scalar\": "
+     << fast.cells_per_second / scalar.cells_per_second << "\n  }";
+}
+
+void emit_kernel_json(const char* path) {
+  const std::size_t length = 10000;
+  const std::int64_t band = 128;
+  const auto [a, b] = make_pair_of(length, 0.05);
+  const std::vector<core::PairInput> pairs = {{a, b}};
+  const double cells =
+      static_cast<double>(a.size() + b.size() + 1) * static_cast<double>(band);
+
+  core::PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.band_width = band;
+  const int reps = 3;
+
+  std::ofstream os(path);
+  os << "{\n";
+  os << "  \"workload\": { \"pair_length\": " << length
+     << ", \"band_width\": " << band << ", \"error_rate\": 0.05"
+     << ", \"avx2\": " << (core::simd::avx2_available() ? "true" : "false")
+     << " },\n";
+
+  config.align.traceback = false;
+  write_json_block(
+      os, "score_only",
+      time_path(pairs, config, core::SimPath::kScalar, cells, reps),
+      time_path(pairs, config, core::SimPath::kDense, cells, reps),
+      time_path(pairs, config, core::SimPath::kAuto, cells, reps));
+  os << ",\n";
+
+  config.align.traceback = true;
+  write_json_block(
+      os, "traceback",
+      time_path(pairs, config, core::SimPath::kScalar, cells, reps),
+      time_path(pairs, config, core::SimPath::kDense, cells, reps),
+      time_path(pairs, config, core::SimPath::kAuto, cells, reps));
+  os << "\n}\n";
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_kernel_json("BENCH_kernel.json");
+  return 0;
+}

@@ -28,6 +28,11 @@ struct Scoring {
   /// Substitution score for an (equal?) pair of bases.
   Score sub(bool equal) const { return equal ? match : -mismatch; }
 
+  /// Combined cost of opening a gap at its first base (the value the affine
+  /// recurrences subtract from H when a gap starts); hoisted out of the DP
+  /// inner loops so scalar and SIMD kernels share one definition.
+  Score open_extend() const { return gap_open + gap_extend; }
+
   /// Cost (negative score contribution) of a gap of length `len`.
   Score gap_cost(std::uint64_t len) const {
     return len == 0 ? 0

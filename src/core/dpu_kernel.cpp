@@ -8,6 +8,7 @@
 #include "align/bt_code.hpp"
 #include "align/scoring.hpp"
 #include "align/traceback.hpp"
+#include "core/kernel_simd.hpp"
 #include "core/mram_layout.hpp"
 #include "dna/packed_sequence.hpp"
 #include "util/check.hpp"
@@ -136,6 +137,22 @@ class SeqWindow {
     return static_cast<std::uint8_t>((byte >> (2 * (rel % 4))) & 0x3);
   }
 
+  /// Bulk-decode bases [first, last) into one code byte each (the fast
+  /// path's batched base extraction). The range must already be ensured;
+  /// charges nothing — the refill DMA was paid by ensure().
+  void decode(std::int64_t first, std::int64_t last, std::uint8_t* out) const {
+    if (last <= first) return;
+    PIMNW_DCHECK(first >= win_start_ && last <= win_start_ + win_loaded_);
+    // win_start_ is 32-base aligned, so window-relative indices keep the
+    // within-byte phase of the absolute ones.
+    const std::uint64_t rel_first =
+        static_cast<std::uint64_t>(first - win_start_);
+    const std::uint64_t rel_last = static_cast<std::uint64_t>(last - win_start_);
+    const std::uint8_t* bytes =
+        ctx_->wram.raw(wram_addr_, (rel_last + 3) / 4);
+    dna::decode_packed_range(bytes, rel_first, rel_last, out);
+  }
+
  private:
   DpuContext* ctx_ = nullptr;
   upmem::PoolCost* pool_ = nullptr;
@@ -164,6 +181,21 @@ struct PoolBuffers {
   std::uint64_t tb_lo_addr = 0;     // traceback lo cache
   std::span<std::uint32_t> tb_lo;
 
+  // Host-side fast-path scratch — deliberately NOT WRAM. The functional DPU
+  // state (H/I/D arrays, windows, BT rows) stays in simulated WRAM; these
+  // are read snapshots the fast path takes per anti-diagonal to break the
+  // scalar loop's in-place carry dependencies, so they model nothing and
+  // cost nothing (DESIGN.md "Simulator fast path"). Score snapshots carry
+  // one kNegInf pad element on each side so shifted neighbour reads resolve
+  // out-of-band lanes without branches.
+  std::vector<Score> snap_hp;   // H on anti-diagonal s-1, padded
+  std::vector<Score> snap_h2;   // H on anti-diagonal s-2, padded
+  std::vector<Score> snap_ip;   // I on anti-diagonal s-1, padded
+  std::vector<Score> snap_dp;   // D on anti-diagonal s-1, padded
+  std::vector<std::uint8_t> base_a;  // decoded a[i-1] per interior lane
+  std::vector<std::uint8_t> base_b;  // decoded b[j-1], reversed to match
+  std::vector<std::uint8_t> codes;   // unpacked BT codes per interior lane
+
   void allocate(DpuContext& ctx, upmem::PoolCost& pool, std::int64_t w) {
     h[0] = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
     h[1] = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
@@ -180,6 +212,16 @@ struct PoolBuffers {
     tb_rows_addr = ctx.wram.alloc(kTbCacheRows * bt_row_bytes(w));
     tb_lo_addr = ctx.wram.alloc(kTbLoCache * 4);
     tb_lo = ctx.wram.view<std::uint32_t>(tb_lo_addr, kTbLoCache);
+
+    const std::size_t ws = static_cast<std::size_t>(w);
+    snap_hp.assign(ws + 2, kNegInf);
+    snap_h2.assign(ws + 2, kNegInf);
+    snap_ip.assign(ws + 2, kNegInf);
+    snap_dp.assign(ws + 2, kNegInf);
+    // +8 slack: the AVX2 base loads read 8 bytes per step.
+    base_a.assign(ws + 8, 0);
+    base_b.assign(ws + 8, 0);
+    codes.assign(ws + 8, 0);
   }
 };
 
@@ -219,20 +261,31 @@ class PairAligner {
  public:
   PairAligner(DpuContext& ctx, upmem::PoolCost& pool, PoolBuffers& buffers,
               const Batch& batch, const KernelCost& cost, int tasklets,
-              int pool_index)
+              int pool_index, SimPath sim_path)
       : ctx_(ctx),
         pool_(pool),
         buf_(buffers),
         batch_(batch),
         cost_(cost),
         tasklets_(tasklets),
-        pool_index_(pool_index) {}
+        pool_index_(pool_index),
+        fast_path_(sim_path != SimPath::kScalar),
+        use_avx2_(sim_path == SimPath::kAuto && simd::avx2_available()) {}
 
   void align(const PairEntry& pair, std::uint32_t pair_index);
 
  private:
   std::uint64_t pool_cycles_now() const;
   void compute_band(std::int64_t m, std::int64_t n);
+  void compute_diag_scalar(std::int64_t s, std::int64_t lo,
+                           std::int64_t shift1, std::int64_t shift2,
+                           std::int64_t i_min, std::int64_t i_max,
+                           std::span<Score> h_cur, std::span<Score> h_prev,
+                           std::uint8_t* bt_row);
+  void compute_diag_fast(std::int64_t s, std::int64_t lo, std::int64_t shift1,
+                         std::int64_t shift2, std::int64_t i_min,
+                         std::int64_t i_max, std::span<Score> h_cur,
+                         std::span<Score> h_prev, std::uint8_t* bt_row);
   dna::Cigar traceback(std::int64_t m, std::int64_t n);
   void write_result(std::uint32_t pair_index, const PairResult& result);
   void flush_runs(const PairEntry& pair, bool final_flush);
@@ -255,6 +308,8 @@ class PairAligner {
   const KernelCost& cost_;
   int tasklets_;
   int pool_index_;
+  bool fast_path_;
+  bool use_avx2_;
 
   // Band state after compute_band().
   bool traceback_on_ = false;
@@ -345,8 +400,6 @@ void PairAligner::align(const PairEntry& pair, std::uint32_t pair_index) {
 
 void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
   const std::int64_t w = batch_.header.band_width;
-  const align::Scoring& sc = batch_.scoring;
-  const Score open_ext = sc.gap_open + sc.gap_extend;
   const std::uint64_t row_bytes = bt_row_bytes(w);
   const std::uint64_t rows_off = rows_area(m + n + 1);
 
@@ -393,101 +446,15 @@ void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
     std::uint8_t* bt_row = ctx_.wram.raw(buf_.bt_row_addr, row_bytes);
     if (traceback_on_) std::memset(bt_row, 0, row_bytes);
 
-    Score i_carry = kNegInf;   // I_prev[k-1] before it was overwritten
-    Score h2_carry = kNegInf;  // H_prev2[k-1] before it was overwritten
-
-    for (std::int64_t k = 0; k < w; ++k) {
-      const std::int64_t i = lo + k;
-      const std::int64_t j = s - i;
-      const Score old_h2 = h_cur[static_cast<std::size_t>(k)];
-      const Score old_i = buf_.iv[static_cast<std::size_t>(k)];
-
-      Score h = kNegInf;
-      Score new_i = kNegInf;
-      Score new_d = kNegInf;
-      std::uint8_t code = 0;
-
-      if (i >= i_min && i <= i_max) {
-        if (i == 0 && j == 0) {
-          h = 0;
-        } else if (i == 0) {
-          h = -sc.gap_cost(static_cast<std::uint64_t>(j));
-          new_d = h;
-        } else if (j == 0) {
-          h = -sc.gap_cost(static_cast<std::uint64_t>(i));
-          new_i = h;
-        } else {
-          // Neighbour reads; in-place arrays are resolved via the carries.
-          const std::int64_t k_up = k + shift1 - 1;
-          const std::int64_t k_left = k + shift1;
-          const Score h_up = (k_up >= 0 && k_up < w)
-                                 ? h_prev[static_cast<std::size_t>(k_up)]
-                                 : kNegInf;
-          const Score h_left = (k_left >= 0 && k_left < w)
-                                   ? h_prev[static_cast<std::size_t>(k_left)]
-                                   : kNegInf;
-          Score i_up;
-          if (shift1 == 0) {
-            i_up = (k == 0) ? kNegInf : i_carry;
-          } else {
-            i_up = old_i;
-          }
-          Score d_left;
-          if (shift1 == 0) {
-            d_left = buf_.dv[static_cast<std::size_t>(k)];
-          } else {
-            d_left = (k + 1 < w) ? buf_.dv[static_cast<std::size_t>(k + 1)]
-                                 : kNegInf;
-          }
-          Score h_diag_prev;
-          if (shift2 == 0) {
-            h_diag_prev = (k == 0) ? kNegInf : h2_carry;
-          } else if (shift2 == 1) {
-            h_diag_prev = old_h2;
-          } else {
-            h_diag_prev = (k + 1 < w)
-                              ? h_cur[static_cast<std::size_t>(k + 1)]
-                              : kNegInf;
-          }
-
-          const bool equal =
-              buf_.win_a.base(i - 1) == buf_.win_b.base(j - 1);
-
-          const Score i_ext = i_up - sc.gap_extend;
-          const Score i_opn = h_up - open_ext;
-          const bool i_open = i_opn >= i_ext;
-          new_i = i_open ? i_opn : i_ext;
-
-          const Score d_ext = d_left - sc.gap_extend;
-          const Score d_opn = h_left - open_ext;
-          const bool d_open = d_opn >= d_ext;
-          new_d = d_open ? d_opn : d_ext;
-
-          const Score h_diag = h_diag_prev + sc.sub(equal);
-          std::uint8_t origin;
-          if (h_diag >= new_i && h_diag >= new_d) {
-            h = h_diag;
-            origin = equal ? align::bt::kOriginDiagMatch
-                           : align::bt::kOriginDiagMismatch;
-          } else if (new_i >= new_d) {
-            h = new_i;
-            origin = align::bt::kOriginI;
-          } else {
-            h = new_d;
-            origin = align::bt::kOriginD;
-          }
-          code = align::bt::make(origin, i_open, d_open);
-        }
-      }
-
-      if (traceback_on_) {
-        align::bt_store(bt_row, static_cast<std::uint64_t>(k), code);
-      }
-      h_cur[static_cast<std::size_t>(k)] = h;
-      buf_.iv[static_cast<std::size_t>(k)] = new_i;
-      buf_.dv[static_cast<std::size_t>(k)] = new_d;
-      i_carry = old_i;
-      h2_carry = old_h2;
+    // Functional update of the anti-diagonal. Both paths produce bit-identical
+    // band state and BT rows; the split only changes host wall-clock, never
+    // the PoolCost charges below (DESIGN.md "Simulator fast path").
+    if (fast_path_) {
+      compute_diag_fast(s, lo, shift1, shift2, i_min, i_max, h_cur, h_prev,
+                        bt_row);
+    } else {
+      compute_diag_scalar(s, lo, shift1, shift2, i_min, i_max, h_cur, h_prev,
+                          bt_row);
     }
 
     // Charge the anti-diagonal: w cells split across the pool's tasklets,
@@ -539,6 +506,221 @@ void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
       buf_.h[static_cast<std::size_t>((m + n) & 1)]
             [static_cast<std::size_t>(k_final)];
   reached_ = final_score_ > kNegInf / 2;
+}
+
+// Reference per-cell loop: walks all w band slots, tests membership per cell,
+// and resolves the in-place H/I arrays through one-cell carries. Kept verbatim
+// as the ground truth the fast path is equivalence-tested against
+// (tests/core/kernel_fastpath_test.cpp).
+void PairAligner::compute_diag_scalar(std::int64_t s, std::int64_t lo,
+                                      std::int64_t shift1, std::int64_t shift2,
+                                      std::int64_t i_min, std::int64_t i_max,
+                                      std::span<Score> h_cur,
+                                      std::span<Score> h_prev,
+                                      std::uint8_t* bt_row) {
+  const std::int64_t w = batch_.header.band_width;
+  const align::Scoring& sc = batch_.scoring;
+  const Score open_ext = sc.open_extend();
+
+  Score i_carry = kNegInf;   // I_prev[k-1] before it was overwritten
+  Score h2_carry = kNegInf;  // H_prev2[k-1] before it was overwritten
+
+  for (std::int64_t k = 0; k < w; ++k) {
+    const std::int64_t i = lo + k;
+    const std::int64_t j = s - i;
+    const Score old_h2 = h_cur[static_cast<std::size_t>(k)];
+    const Score old_i = buf_.iv[static_cast<std::size_t>(k)];
+
+    Score h = kNegInf;
+    Score new_i = kNegInf;
+    Score new_d = kNegInf;
+    std::uint8_t code = 0;
+
+    if (i >= i_min && i <= i_max) {
+      if (i == 0 && j == 0) {
+        h = 0;
+      } else if (i == 0) {
+        h = -sc.gap_cost(static_cast<std::uint64_t>(j));
+        new_d = h;
+      } else if (j == 0) {
+        h = -sc.gap_cost(static_cast<std::uint64_t>(i));
+        new_i = h;
+      } else {
+        // Neighbour reads; in-place arrays are resolved via the carries.
+        const std::int64_t k_up = k + shift1 - 1;
+        const std::int64_t k_left = k + shift1;
+        const Score h_up = (k_up >= 0 && k_up < w)
+                               ? h_prev[static_cast<std::size_t>(k_up)]
+                               : kNegInf;
+        const Score h_left = (k_left >= 0 && k_left < w)
+                                 ? h_prev[static_cast<std::size_t>(k_left)]
+                                 : kNegInf;
+        Score i_up;
+        if (shift1 == 0) {
+          i_up = (k == 0) ? kNegInf : i_carry;
+        } else {
+          i_up = old_i;
+        }
+        Score d_left;
+        if (shift1 == 0) {
+          d_left = buf_.dv[static_cast<std::size_t>(k)];
+        } else {
+          d_left = (k + 1 < w) ? buf_.dv[static_cast<std::size_t>(k + 1)]
+                               : kNegInf;
+        }
+        Score h_diag_prev;
+        if (shift2 == 0) {
+          h_diag_prev = (k == 0) ? kNegInf : h2_carry;
+        } else if (shift2 == 1) {
+          h_diag_prev = old_h2;
+        } else {
+          h_diag_prev = (k + 1 < w)
+                            ? h_cur[static_cast<std::size_t>(k + 1)]
+                            : kNegInf;
+        }
+
+        const bool equal =
+            buf_.win_a.base(i - 1) == buf_.win_b.base(j - 1);
+
+        const Score i_ext = i_up - sc.gap_extend;
+        const Score i_opn = h_up - open_ext;
+        const bool i_open = i_opn >= i_ext;
+        new_i = i_open ? i_opn : i_ext;
+
+        const Score d_ext = d_left - sc.gap_extend;
+        const Score d_opn = h_left - open_ext;
+        const bool d_open = d_opn >= d_ext;
+        new_d = d_open ? d_opn : d_ext;
+
+        const Score h_diag = h_diag_prev + sc.sub(equal);
+        std::uint8_t origin;
+        if (h_diag >= new_i && h_diag >= new_d) {
+          h = h_diag;
+          origin = equal ? align::bt::kOriginDiagMatch
+                         : align::bt::kOriginDiagMismatch;
+        } else if (new_i >= new_d) {
+          h = new_i;
+          origin = align::bt::kOriginI;
+        } else {
+          h = new_d;
+          origin = align::bt::kOriginD;
+        }
+        code = align::bt::make(origin, i_open, d_open);
+      }
+    }
+
+    if (traceback_on_) {
+      align::bt_store(bt_row, static_cast<std::uint64_t>(k), code);
+    }
+    h_cur[static_cast<std::size_t>(k)] = h;
+    buf_.iv[static_cast<std::size_t>(k)] = new_i;
+    buf_.dv[static_cast<std::size_t>(k)] = new_d;
+    i_carry = old_i;
+    h2_carry = old_h2;
+  }
+}
+
+// Cycle-exact fast path. Same update as compute_diag_scalar, restructured:
+// the in-band check is hoisted (only k in [i_min-lo, i_max-lo] is visited),
+// the i==0 / j==0 boundary cells are peeled, the in-place carries are
+// replaced by padded snapshots of the previous band state, the touched bases
+// are bulk-decoded from the 2-bit windows into byte arrays (host analog of
+// the paper's cmpb4), and the interior run is handed to a branchless dense
+// sweep (AVX2 when available). The equivalence argument, per input:
+//   h_up     = H_prev[k+shift1-1]   (carry-free: h_prev is not written here)
+//   i_up     = I_prev[k+shift1-1]   (shift1==0: carry of old_i; ==1: old_i)
+//   h_left   = H_prev[k+shift1]
+//   d_left   = D_prev[k+shift1]     (shift1==0: dv[k]; ==1: dv[k+1], unwritten
+//                                    ahead of the ascending walk)
+//   h_diag   = H_prev2[k+shift2-1]  (shift2==0: carry; ==1: old_h2; ==2:
+//                                    h_cur[k+1] ahead of the walk)
+// with any out-of-range index reading kNegInf — supplied here by one pad slot
+// on each side of the snapshots. Out-of-band slots are pre-filled with
+// kNegInf and BT code 0 exactly as the reference writes them.
+void PairAligner::compute_diag_fast(std::int64_t s, std::int64_t lo,
+                                    std::int64_t shift1, std::int64_t shift2,
+                                    std::int64_t i_min, std::int64_t i_max,
+                                    std::span<Score> h_cur,
+                                    std::span<Score> h_prev,
+                                    std::uint8_t* bt_row) {
+  const std::int64_t w = batch_.header.band_width;
+  const align::Scoring& sc = batch_.scoring;
+  const std::size_t ws = static_cast<std::size_t>(w);
+
+  // Snapshot the band state this diagonal reads before overwriting it. The
+  // destination offset +1 preserves the kNegInf pads installed at allocation.
+  std::memcpy(buf_.snap_hp.data() + 1, h_prev.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_h2.data() + 1, h_cur.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_ip.data() + 1, buf_.iv.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_dp.data() + 1, buf_.dv.data(), ws * sizeof(Score));
+
+  std::fill_n(h_cur.data(), ws, kNegInf);
+  std::fill_n(buf_.iv.data(), ws, kNegInf);
+  std::fill_n(buf_.dv.data(), ws, kNegInf);
+
+  if (i_min > i_max) return;
+
+  std::int64_t ilo = i_min;
+  std::int64_t ihi = i_max;
+
+  // Peel the i == 0 boundary cell (only possible while lo == 0, at k == 0).
+  if (ilo == 0) {
+    const Score h =
+        (s == 0) ? 0 : -sc.gap_cost(static_cast<std::uint64_t>(s));
+    h_cur[static_cast<std::size_t>(-lo)] = h;
+    if (s > 0) buf_.dv[static_cast<std::size_t>(-lo)] = h;
+    ilo = 1;
+  }
+  // Peel the j == 0 boundary cell (i == s); s > 0 keeps it distinct from the
+  // origin cell peeled above.
+  if (ihi == s && s > 0 && ihi >= ilo) {
+    const Score h = -sc.gap_cost(static_cast<std::uint64_t>(s));
+    h_cur[static_cast<std::size_t>(s - lo)] = h;
+    buf_.iv[static_cast<std::size_t>(s - lo)] = h;
+    ihi = s - 1;
+  }
+
+  const std::int64_t len = ihi - ilo + 1;
+  if (len <= 0) return;
+
+  // Bulk-decode the bases this interior run compares: a[ilo-1 .. ihi-1]
+  // ascending, b[s-ihi-1 .. s-ilo-1] reversed so lane t pairs a[ilo-1+t]
+  // with b[s-ilo-1-t].
+  buf_.win_a.decode(ilo - 1, ihi, buf_.base_a.data());
+  buf_.win_b.decode(s - ihi - 1, s - ilo, buf_.base_b.data());
+  std::reverse(buf_.base_b.data(), buf_.base_b.data() + len);
+
+  const std::int64_t ka = ilo - lo;
+  simd::DiagSpan span{};
+  span.up_h = buf_.snap_hp.data() + 1 + ka + shift1 - 1;
+  span.up_i = buf_.snap_ip.data() + 1 + ka + shift1 - 1;
+  span.left_h = buf_.snap_hp.data() + 1 + ka + shift1;
+  span.left_d = buf_.snap_dp.data() + 1 + ka + shift1;
+  span.diag_h = buf_.snap_h2.data() + 1 + ka + shift2 - 1;
+  span.base_a = buf_.base_a.data();
+  span.base_b = buf_.base_b.data();
+  span.out_h = h_cur.data() + ka;
+  span.out_i = buf_.iv.data() + ka;
+  span.out_d = buf_.dv.data() + ka;
+  span.codes = traceback_on_ ? buf_.codes.data() : nullptr;
+  span.len = len;
+  span.match = sc.match;
+  span.mismatch = sc.mismatch;
+  span.gap_extend = sc.gap_extend;
+  span.open_ext = sc.open_extend();
+
+  if (use_avx2_) {
+    simd::diag_update_avx2(span);
+  } else {
+    simd::diag_update_dense(span);
+  }
+
+  if (traceback_on_) {
+    for (std::int64_t t = 0; t < len; ++t) {
+      align::bt_store(bt_row, static_cast<std::uint64_t>(ka + t),
+                      buf_.codes[static_cast<std::size_t>(t)]);
+    }
+  }
 }
 
 dna::Cigar PairAligner::traceback(std::int64_t m, std::int64_t n) {
@@ -667,7 +849,7 @@ void NwDpuProgram::run(DpuContext& ctx) {
     upmem::PoolCost& pool = ctx.cost.pool(p);
     const PairEntry pair = batch.pair_entry(ctx, pool, pair_index);
     PairAligner aligner(ctx, pool, buffers[static_cast<std::size_t>(p)],
-                        batch, cost_, tasklets, p);
+                        batch, cost_, tasklets, p, sim_path_);
     aligner.align(pair, pair_index);
   }
 }

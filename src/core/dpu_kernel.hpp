@@ -25,14 +25,18 @@ namespace pimnw::core {
 
 class NwDpuProgram : public upmem::DpuProgram {
  public:
-  NwDpuProgram(PoolConfig pool_config, KernelVariant variant)
-      : pool_config_(pool_config), cost_(kernel_cost(variant)) {}
+  NwDpuProgram(PoolConfig pool_config, KernelVariant variant,
+               SimPath sim_path = SimPath::kAuto)
+      : pool_config_(pool_config),
+        cost_(kernel_cost(variant)),
+        sim_path_(sim_path) {}
 
   void run(upmem::DpuContext& ctx) override;
 
  private:
   PoolConfig pool_config_;
   KernelCost cost_;
+  SimPath sim_path_;  // host execution strategy; never affects modeled cost
 };
 
 }  // namespace pimnw::core

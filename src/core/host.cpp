@@ -11,6 +11,7 @@
 #include "core/mram_layout.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pimnw::core {
 namespace {
@@ -28,6 +29,16 @@ struct DpuPlan {
   MramImage image;
   std::vector<LocalPairMeta> meta;
   std::uint64_t prep_bases = 0;
+};
+
+/// One rank-batch of plans, built ahead of time on a Prefetch worker while
+/// the previous batch simulates. Building a batch (encode, intern, LPT,
+/// build_mram_image) is pure CPU over caller-owned input, so it is safe off
+/// the main thread; the *modeled* prep time is still charged inside
+/// run_batch, so overlapping changes wall-clock only.
+struct PreparedBatch {
+  std::vector<DpuPlan> plans;
+  double imbalance = 1.0;
 };
 
 /// Sequence interner: dedups by data pointer so a read shared by many pairs
@@ -174,8 +185,8 @@ class BatchEngine {
           if (plans[static_cast<std::size_t>(d)].batch.pairs.empty()) {
             return nullptr;
           }
-          return std::make_unique<NwDpuProgram>(config_.pool,
-                                                config_.variant);
+          return std::make_unique<NwDpuProgram>(config_.pool, config_.variant,
+                                                config_.sim_path);
         },
         config_.pool.pools, config_.pool.tasklets_per_pool);
     util_sum_ += launch_stats.mean_pipeline_utilization;
@@ -290,8 +301,7 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
           : static_cast<std::size_t>(upmem::kDpusPerRank) *
                 static_cast<std::size_t>(config_.pool.pools) * 2;
 
-  for (std::size_t batch_start = 0; batch_start < pairs.size();
-       batch_start += batch_pairs) {
+  auto build_batch = [&](std::size_t batch_start) -> PreparedBatch {
     const std::size_t batch_end =
         std::min(pairs.size(), batch_start + batch_pairs);
 
@@ -306,11 +316,12 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
     }
     Assignment assignment = lpt_assign(std::move(items), upmem::kDpusPerRank);
 
-    std::vector<DpuPlan> plans(upmem::kDpusPerRank);
+    PreparedBatch prepared;
+    prepared.plans.resize(upmem::kDpusPerRank);
     for (int d = 0; d < upmem::kDpusPerRank; ++d) {
       const auto& bin = assignment.bins[static_cast<std::size_t>(d)];
       if (bin.empty()) continue;
-      DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+      DpuPlan& plan = prepared.plans[static_cast<std::size_t>(d)];
       SeqInterner interner;
       for (const WorkItem& item : bin) {
         const PairInput& pair = pairs[item.id];
@@ -319,7 +330,23 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
       }
       finalize_plan(plan, interner, config_);
     }
-    engine.run_batch(plans, 0.0, assignment.imbalance(), out);
+    prepared.imbalance = assignment.imbalance();
+    return prepared;
+  };
+
+  // One-ahead pipeline: while a batch simulates, the next one is built on a
+  // pool worker (§4.1.3 reader-thread overlap). Wall-clock only: the modeled
+  // timeline charges prep exactly as in the serial schedule.
+  Prefetch<PreparedBatch> ahead;
+  ahead.stage([&build_batch] { return build_batch(0); });
+  for (std::size_t batch_start = 0; batch_start < pairs.size();
+       batch_start += batch_pairs) {
+    PreparedBatch prepared = ahead.take();
+    const std::size_t next_start = batch_start + batch_pairs;
+    if (next_start < pairs.size()) {
+      ahead.stage([&build_batch, next_start] { return build_batch(next_start); });
+    }
+    engine.run_batch(prepared.plans, 0.0, prepared.imbalance, out);
   }
 
   report = engine.finish();
@@ -380,8 +407,7 @@ RunReport PimAligner::align_sets(
           ? config_.batch_pairs
           : static_cast<std::size_t>(upmem::kDpusPerRank) * 2);
 
-  for (std::size_t batch_start = 0; batch_start < sets.size();
-       batch_start += batch_sets) {
+  auto build_batch = [&](std::size_t batch_start) -> PreparedBatch {
     const std::size_t batch_end =
         std::min(sets.size(), batch_start + batch_sets);
 
@@ -393,11 +419,12 @@ RunReport PimAligner::align_sets(
     }
     Assignment assignment = lpt_assign(std::move(items), upmem::kDpusPerRank);
 
-    std::vector<DpuPlan> plans(upmem::kDpusPerRank);
+    PreparedBatch prepared;
+    prepared.plans.resize(upmem::kDpusPerRank);
     for (int d = 0; d < upmem::kDpusPerRank; ++d) {
       const auto& bin = assignment.bins[static_cast<std::size_t>(d)];
       if (bin.empty()) continue;
-      DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+      DpuPlan& plan = prepared.plans[static_cast<std::size_t>(d)];
       SeqInterner interner;
       for (const WorkItem& item : bin) {
         const std::size_t s = item.id;
@@ -413,7 +440,20 @@ RunReport PimAligner::align_sets(
       }
       finalize_plan(plan, interner, config_);
     }
-    engine.run_batch(plans, 0.0, assignment.imbalance(), &flat_out);
+    prepared.imbalance = assignment.imbalance();
+    return prepared;
+  };
+
+  Prefetch<PreparedBatch> ahead;
+  ahead.stage([&build_batch] { return build_batch(0); });
+  for (std::size_t batch_start = 0; batch_start < sets.size();
+       batch_start += batch_sets) {
+    PreparedBatch prepared = ahead.take();
+    const std::size_t next_start = batch_start + batch_sets;
+    if (next_start < sets.size()) {
+      ahead.stage([&build_batch, next_start] { return build_batch(next_start); });
+    }
+    engine.run_batch(prepared.plans, 0.0, prepared.imbalance, &flat_out);
   }
 
   report = engine.finish();
@@ -474,15 +514,16 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
     return std::make_pair(i, j);
   };
 
-  for (int r = 0; r < config_.nr_ranks; ++r) {
-    std::vector<DpuPlan> plans(upmem::kDpusPerRank);
+  auto build_batch = [&](int r) -> PreparedBatch {
+    PreparedBatch prepared;
+    prepared.plans.resize(upmem::kDpusPerRank);
     std::uint64_t max_load = 0;
     std::uint64_t total_load = 0;
     for (int d = 0; d < upmem::kDpusPerRank; ++d) {
       const auto [first, last] =
           ranges[static_cast<std::size_t>(r * upmem::kDpusPerRank + d)];
       if (first >= last) continue;
-      DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+      DpuPlan& plan = prepared.plans[static_cast<std::size_t>(d)];
       std::uint64_t load = 0;
       for (std::uint64_t linear = first; linear < last; ++linear) {
         const auto [i, j] = pair_of_linear(linear);
@@ -498,13 +539,22 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
       SeqInterner unused;
       finalize_plan(plan, unused, config_, kBroadcastPoolOffset, &pool);
     }
-    double imbalance = 1.0;
     if (total_load > 0) {
       const double mean =
           static_cast<double>(total_load) / upmem::kDpusPerRank;
-      imbalance = static_cast<double>(max_load) / mean;
+      prepared.imbalance = static_cast<double>(max_load) / mean;
     }
-    engine.run_batch(plans, 0.0, imbalance, out);
+    return prepared;
+  };
+
+  Prefetch<PreparedBatch> ahead;
+  ahead.stage([&build_batch] { return build_batch(0); });
+  for (int r = 0; r < config_.nr_ranks; ++r) {
+    PreparedBatch prepared = ahead.take();
+    if (r + 1 < config_.nr_ranks) {
+      ahead.stage([&build_batch, r] { return build_batch(r + 1); });
+    }
+    engine.run_batch(prepared.plans, 0.0, prepared.imbalance, out);
   }
 
   report = engine.finish();

@@ -6,4 +6,16 @@ const char* kernel_variant_name(KernelVariant variant) {
   return variant == KernelVariant::kPureC ? "pure-C" : "asm";
 }
 
+const char* sim_path_name(SimPath path) {
+  switch (path) {
+    case SimPath::kAuto:
+      return "auto";
+    case SimPath::kDense:
+      return "dense";
+    case SimPath::kScalar:
+      return "scalar";
+  }
+  return "?";
+}
+
 }  // namespace pimnw::core

@@ -15,6 +15,22 @@ enum class KernelVariant { kPureC, kAsm };
 
 const char* kernel_variant_name(KernelVariant variant);
 
+/// How the simulator *executes* the kernel's per-cell arithmetic on the
+/// host. Purely a wall-clock choice: every path produces bit-identical
+/// scores, CIGARs, modeled cycles and DMA bytes (tested by
+/// kernel_fastpath_test), because the cost model charges per unit of work,
+/// not per host instruction (DESIGN.md "Simulator fast path").
+enum class SimPath {
+  /// Fast path, with AVX2 when the build and CPU support it (default).
+  kAuto,
+  /// Fast path restricted to the portable dense loop (no intrinsics).
+  kDense,
+  /// The original branchy per-cell reference loop — the kernel spec.
+  kScalar,
+};
+
+const char* sim_path_name(SimPath path);
+
 /// Tasklet organisation inside each DPU (paper §4.2.3): P pools of T
 /// tasklets align P pairs concurrently. The paper's evaluation uses P=6,
 /// T=4 (24 tasklets, comfortably above the 11 needed for full pipeline use).
@@ -39,6 +55,9 @@ struct PimAlignerConfig {
   int nr_ranks = upmem::kDefaultRanks;
   PoolConfig pool;
   KernelVariant variant = KernelVariant::kAsm;
+  /// Host execution path of the simulated kernel (never changes results or
+  /// modeled time; see SimPath).
+  SimPath sim_path = SimPath::kAuto;
   AlignConfig align;
   /// Pairs per rank-batch in the FIFO dispatch (0 = pick automatically:
   /// enough pairs for every pool of every DPU of a rank to see several).

@@ -1,8 +1,49 @@
 #include "dna/packed_sequence.hpp"
 
+#include <array>
+#include <cstring>
+
 #include "util/check.hpp"
 
 namespace pimnw::dna {
+namespace {
+
+/// kUnpackLut[b] holds the four 2-bit codes of packed byte b, one per output
+/// byte, little-endian (code of base 4k+i in byte i of the word).
+constexpr std::array<std::uint32_t, 256> make_unpack_lut() {
+  std::array<std::uint32_t, 256> lut{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    lut[b] = (b & 0x3) | ((b >> 2) & 0x3) << 8 | ((b >> 4) & 0x3) << 16 |
+             ((b >> 6) & 0x3) << 24;
+  }
+  return lut;
+}
+
+constexpr std::array<std::uint32_t, 256> kUnpackLut = make_unpack_lut();
+
+}  // namespace
+
+void decode_packed_range(const std::uint8_t* bytes, std::size_t first,
+                         std::size_t last, std::uint8_t* out) {
+  std::size_t i = first;
+  // Unaligned head: peel to a packed-byte boundary.
+  while (i < last && (i % 4) != 0) {
+    *out++ = static_cast<std::uint8_t>((bytes[i / 4] >> (2 * (i % 4))) & 0x3);
+    ++i;
+  }
+  // Body: one table lookup expands a whole packed byte (4 bases).
+  while (i + 4 <= last) {
+    const std::uint32_t word = kUnpackLut[bytes[i / 4]];
+    std::memcpy(out, &word, 4);
+    out += 4;
+    i += 4;
+  }
+  // Tail: the final partial byte.
+  while (i < last) {
+    *out++ = static_cast<std::uint8_t>((bytes[i / 4] >> (2 * (i % 4))) & 0x3);
+    ++i;
+  }
+}
 
 PackedSequence PackedSequence::pack(std::string_view ascii) {
   PackedSequence out;
@@ -32,6 +73,15 @@ PackedSequence PackedSequence::from_packed(std::vector<std::uint8_t> bytes,
   }
   out.size_ = size;
   return out;
+}
+
+void PackedSequence::decode_range(std::size_t first, std::size_t last,
+                                  std::uint8_t* out) const {
+  PIMNW_CHECK_MSG(first <= last && last <= size_,
+                  "decode_range [" << first << ", " << last
+                                   << ") out of bounds for " << size_
+                                   << " bases");
+  decode_packed_range(bytes_.data(), first, last, out);
 }
 
 Code PackedSequence::at(std::size_t i) const {

@@ -15,6 +15,14 @@
 
 namespace pimnw::dna {
 
+/// Bulk-decode 2-bit codes [first, last) of a raw packed buffer into one
+/// byte per code (a 256-entry table expands each packed byte to four decoded
+/// bytes at once). `bytes` must cover base index last - 1; `out` must hold
+/// last - first bytes. Shared by PackedSequence::decode_range and the DPU
+/// kernel's sequence windows, which decode straight out of simulated WRAM.
+void decode_packed_range(const std::uint8_t* bytes, std::size_t first,
+                         std::size_t last, std::uint8_t* out);
+
 class PackedSequence {
  public:
   PackedSequence() = default;
@@ -33,6 +41,12 @@ class PackedSequence {
 
   /// 2-bit code of base `i`.
   Code at(std::size_t i) const;
+
+  /// Bulk-decode bases [first, last) into one code byte each (out[t] =
+  /// at(first + t)). Word-at-a-time unpack — the host analog of the DPU
+  /// kernel's batched base extraction; `out` must hold last - first bytes.
+  void decode_range(std::size_t first, std::size_t last,
+                    std::uint8_t* out) const;
 
   /// Raw packed bytes (bytes_for(size()) of them).
   std::span<const std::uint8_t> bytes() const { return bytes_; }

@@ -60,4 +60,33 @@ class ThreadPool {
 /// share it so we never oversubscribe the machine.
 ThreadPool& global_pool();
 
+/// One-slot look-ahead pipeline over global_pool(): stage(fn) starts building
+/// the next item on a pool worker while the caller consumes the current one
+/// (the paper's §4.1.3 reader-thread overlap of host prep with rank
+/// execution). take() blocks until the staged item is ready.
+///
+/// Staged work must not itself block on the pool (it may run on the caller's
+/// only worker); plan-building closures that are pure CPU satisfy this.
+template <typename T>
+class Prefetch {
+ public:
+  template <typename F>
+  void stage(F&& fn) {
+    next_ = global_pool().submit(std::forward<F>(fn));
+    staged_ = true;
+  }
+
+  /// Blocks for the staged item; rethrows anything the builder threw.
+  T take() {
+    staged_ = false;
+    return next_.get();
+  }
+
+  bool staged() const { return staged_; }
+
+ private:
+  std::future<T> next_;
+  bool staged_ = false;
+};
+
 }  // namespace pimnw

@@ -105,6 +105,79 @@ TEST(PackedReaderTest, StartOffsetMidByte) {
   }
 }
 
+TEST(DecodeRangeTest, MatchesAtForAllSubranges) {
+  Xoshiro256 rng(41);
+  const std::string seq = testing::random_dna(rng, 97);  // not a multiple of 4
+  PackedSequence p = PackedSequence::pack(seq);
+  std::vector<std::uint8_t> out(p.size());
+  for (std::size_t first = 0; first <= p.size(); ++first) {
+    for (std::size_t last = first; last <= p.size(); ++last) {
+      std::fill(out.begin(), out.end(), 0xFF);
+      p.decode_range(first, last, out.data());
+      for (std::size_t i = first; i < last; ++i) {
+        ASSERT_EQ(out[i - first], p.at(i))
+            << "range [" << first << ", " << last << ") index " << i;
+      }
+      // Nothing past the range may be written.
+      if (last - first < out.size()) {
+        ASSERT_EQ(out[last - first], 0xFF)
+            << "range [" << first << ", " << last << ")";
+      }
+    }
+  }
+}
+
+TEST(DecodeRangeTest, EmptyRangeWritesNothing) {
+  PackedSequence p = PackedSequence::pack("ACGTACGT");
+  std::uint8_t sentinel = 0xAB;
+  p.decode_range(3, 3, &sentinel);
+  EXPECT_EQ(sentinel, 0xAB);
+}
+
+TEST(DecodeRangeTest, UnalignedStartsAcrossWordBoundaries) {
+  // Long enough that the word-at-a-time body runs for several iterations;
+  // starts cover every packing phase and byte/word boundary straddles.
+  Xoshiro256 rng(43);
+  const std::string seq = testing::random_dna(rng, 1027);
+  PackedSequence p = PackedSequence::pack(seq);
+  std::vector<std::uint8_t> out(p.size());
+  for (std::size_t first : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 31u, 32u,
+                            33u, 63u, 64u, 65u, 1023u, 1026u}) {
+    const std::size_t last = p.size();
+    p.decode_range(first, last, out.data());
+    for (std::size_t i = first; i < last; ++i) {
+      ASSERT_EQ(out[i - first], p.at(i)) << "first " << first << " i " << i;
+    }
+  }
+}
+
+TEST(DecodeRangeTest, WindowEdgesViaRawBytes) {
+  // decode_packed_range is what SeqWindow calls on its WRAM bytes: indices
+  // are window-relative with the same in-byte phase as the absolute ones.
+  Xoshiro256 rng(47);
+  const std::string seq = testing::random_dna(rng, 256);
+  PackedSequence p = PackedSequence::pack(seq);
+  std::vector<std::uint8_t> out(seq.size());
+  for (std::size_t first : {0u, 3u, 4u, 17u}) {
+    for (std::size_t last : std::initializer_list<std::size_t>{
+             first, first + 1, first + 7, 255, 256}) {
+      if (last < first || last > seq.size()) continue;
+      decode_packed_range(p.bytes().data(), first, last, out.data());
+      for (std::size_t i = first; i < last; ++i) {
+        ASSERT_EQ(out[i - first], p.at(i))
+            << "first " << first << " last " << last << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(DecodeRangeTest, OutOfBoundsRejected) {
+  PackedSequence p = PackedSequence::pack("ACGT");
+  std::uint8_t out[8];
+  EXPECT_THROW(p.decode_range(0, 5, out), CheckError);
+  EXPECT_THROW(p.decode_range(3, 2, out), CheckError);
+}
+
 // Property sweep: round-trip across many random lengths/seeds.
 class PackedRoundTrip : public ::testing::TestWithParam<int> {};
 

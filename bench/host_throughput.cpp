@@ -1,0 +1,159 @@
+// End-to-end host orchestration throughput: wall-clock pairs/s and GCUPS of
+// the full batched host path (prep -> transfer -> kernel sim -> readback ->
+// decode) on the S=1000 and S=10000 workloads, comparing the pre-PR
+// legacy-barrier engine against the work-stealing pipelined engine at the
+// same worker count. Writes BENCH_host.json so the perf trajectory tracks
+// orchestration, not just the kernel inner loop (BENCH_kernel.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/host.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace pimnw;
+
+struct EngineTiming {
+  double seconds = 0.0;
+  double pairs_per_second = 0.0;
+  double gcups = 0.0;
+};
+
+/// Best-of-N wall-clock of a full align_pairs run under `mode`.
+EngineTiming time_engine(const std::vector<core::PairInput>& pairs,
+                         core::PimAlignerConfig config, core::EngineMode mode,
+                         ThreadPool& workers, double banded_cells, int reps) {
+  config.engine = mode;
+  config.workers = &workers;
+  EngineTiming timing;
+  timing.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::PimAligner aligner(config);
+    std::vector<core::PairOutput> out;
+    const auto start = std::chrono::steady_clock::now();
+    (void)aligner.align_pairs(pairs, &out);
+    const auto stop = std::chrono::steady_clock::now();
+    timing.seconds = std::min(
+        timing.seconds, std::chrono::duration<double>(stop - start).count());
+  }
+  timing.pairs_per_second = static_cast<double>(pairs.size()) / timing.seconds;
+  timing.gcups = banded_cells / timing.seconds / 1e9;
+  return timing;
+}
+
+struct WorkloadResult {
+  std::string name;
+  std::size_t pairs = 0;
+  std::size_t read_length = 0;
+  EngineTiming legacy;
+  EngineTiming pipelined;
+  double speedup = 0.0;
+};
+
+WorkloadResult run_workload(const std::string& name,
+                            const data::SyntheticConfig& data_config,
+                            std::size_t batch_pairs, ThreadPool& workers,
+                            int reps) {
+  const data::PairDataset dataset = data::generate_synthetic(data_config);
+  std::vector<core::PairInput> pairs;
+  pairs.reserve(dataset.pairs.size());
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+
+  core::PimAlignerConfig config;
+  config.nr_ranks = 2;
+  config.batch_pairs = batch_pairs;  // several in-flight batches per run
+
+  double banded_cells = 0.0;
+  for (const core::PairInput& p : pairs) {
+    banded_cells += static_cast<double>(p.a.size() + p.b.size()) *
+                    static_cast<double>(config.align.band_width);
+  }
+
+  WorkloadResult result;
+  result.name = name;
+  result.pairs = pairs.size();
+  result.read_length = data_config.read_length;
+  result.legacy = time_engine(pairs, config, core::EngineMode::kLegacyBarrier,
+                              workers, banded_cells, reps);
+  result.pipelined = time_engine(pairs, config, core::EngineMode::kPipelined,
+                                 workers, banded_cells, reps);
+  result.speedup = result.legacy.seconds / result.pipelined.seconds;
+  std::printf("%-8s %5zu pairs x %5zu bp  legacy %7.3fs  pipelined %7.3fs  "
+              "speedup %.2fx  (%.0f pairs/s, %.3f GCUPS)\n",
+              name.c_str(), result.pairs, result.read_length,
+              result.legacy.seconds, result.pipelined.seconds, result.speedup,
+              result.pipelined.pairs_per_second, result.pipelined.gcups);
+  return result;
+}
+
+void write_engine(std::ofstream& out, const char* key, const EngineTiming& t) {
+  out << "    \"" << key << "\": { \"seconds\": " << t.seconds
+      << ", \"pairs_per_second\": " << t.pairs_per_second
+      << ", \"gcups\": " << t.gcups << " }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("host_throughput",
+          "End-to-end host path wall-clock: legacy barrier vs pipelined "
+          "work-stealing engine");
+  cli.flag("threads", std::int64_t{0},
+           "worker threads for both engines (0 = hardware concurrency; the "
+           "ISSUE 2 speedup target assumes >= 8 hardware threads)");
+  cli.flag("s1000-pairs", std::int64_t{256}, "pair count for S=1000");
+  cli.flag("s10000-pairs", std::int64_t{64}, "pair count for S=10000");
+  cli.flag("reps", std::int64_t{3}, "repetitions (best-of)");
+  cli.flag("seed", std::int64_t{7}, "dataset seed");
+  cli.flag("out", std::string("BENCH_host.json"), "output JSON path");
+  cli.parse(argc, argv);
+
+  auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  ThreadPool workers(threads);
+
+  const auto s1000 = data::s1000_config(
+      static_cast<std::size_t>(cli.get_int("s1000-pairs")), seed);
+  const auto s10000 = data::s10000_config(
+      static_cast<std::size_t>(cli.get_int("s10000-pairs")), seed);
+
+  std::vector<WorkloadResult> results;
+  results.push_back(run_workload("S1000", s1000, 64, workers, reps));
+  results.push_back(run_workload("S10000", s10000, 16, workers, reps));
+
+  const std::string path = cli.get_string("out");
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"batch_window\": " << core::PimAlignerConfig{}.batch_window
+      << ",\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    out << "  \"" << r.name << "\": {\n";
+    out << "    \"pairs\": " << r.pairs << ",\n";
+    out << "    \"read_length\": " << r.read_length << ",\n";
+    write_engine(out, "legacy_barrier", r.legacy);
+    out << ",\n";
+    write_engine(out, "pipelined", r.pipelined);
+    out << ",\n";
+    out << "    \"speedup_pipelined_vs_legacy\": " << r.speedup << "\n";
+    out << "  }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

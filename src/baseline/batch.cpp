@@ -1,6 +1,7 @@
 #include "baseline/batch.hpp"
 
 #include <atomic>
+#include <optional>
 
 #include "dna/alphabet.hpp"
 #include "util/rng.hpp"
@@ -20,7 +21,13 @@ CpuBatchReport cpu_align_batch(std::span<const CpuPair> pairs,
   }
   if (pairs.empty()) return report;
 
-  ThreadPool pool(threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  // Default thread count: share the process-wide work-stealing pool instead
+  // of spinning one up per call (the CPU baseline competes with the PiM
+  // simulator in the benches; a private pool would oversubscribe). The
+  // dynamic parallel_for keeps long alignments from serialising a chunk.
+  std::optional<ThreadPool> own;
+  if (threads > 0) own.emplace(static_cast<std::size_t>(threads));
+  ThreadPool& pool = own.has_value() ? *own : global_pool();
   std::atomic<std::uint64_t> cells{0};
   std::atomic<std::uint64_t> aligned{0};
 

@@ -187,16 +187,19 @@ struct PoolBuffers {
   // scalar loop's in-place carry dependencies, so they model nothing and
   // cost nothing (DESIGN.md "Simulator fast path"). Score snapshots carry
   // one kNegInf pad element on each side so shifted neighbour reads resolve
-  // out-of-band lanes without branches.
-  std::vector<Score> snap_hp;   // H on anti-diagonal s-1, padded
-  std::vector<Score> snap_h2;   // H on anti-diagonal s-2, padded
-  std::vector<Score> snap_ip;   // I on anti-diagonal s-1, padded
-  std::vector<Score> snap_dp;   // D on anti-diagonal s-1, padded
-  std::vector<std::uint8_t> base_a;  // decoded a[i-1] per interior lane
-  std::vector<std::uint8_t> base_b;  // decoded b[j-1], reversed to match
-  std::vector<std::uint8_t> codes;   // unpacked BT codes per interior lane
+  // out-of-band lanes without branches. The storage is borrowed from a
+  // KernelScratch arena shared by every pool of the launch: pairs align
+  // strictly one at a time, so pools never overlap in it.
+  Score* snap_hp = nullptr;   // H on anti-diagonal s-1, padded
+  Score* snap_h2 = nullptr;   // H on anti-diagonal s-2, padded
+  Score* snap_ip = nullptr;   // I on anti-diagonal s-1, padded
+  Score* snap_dp = nullptr;   // D on anti-diagonal s-1, padded
+  std::uint8_t* base_a = nullptr;  // decoded a[i-1] per interior lane
+  std::uint8_t* base_b = nullptr;  // decoded b[j-1], reversed to match
+  std::uint8_t* codes = nullptr;   // unpacked BT codes per interior lane
 
-  void allocate(DpuContext& ctx, upmem::PoolCost& pool, std::int64_t w) {
+  void allocate(DpuContext& ctx, upmem::PoolCost& pool, std::int64_t w,
+                KernelScratch& scratch) {
     h[0] = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
     h[1] = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
     iv = ctx.wram.alloc_array<Score>(static_cast<std::uint64_t>(w));
@@ -213,15 +216,13 @@ struct PoolBuffers {
     tb_lo_addr = ctx.wram.alloc(kTbLoCache * 4);
     tb_lo = ctx.wram.view<std::uint32_t>(tb_lo_addr, kTbLoCache);
 
-    const std::size_t ws = static_cast<std::size_t>(w);
-    snap_hp.assign(ws + 2, kNegInf);
-    snap_h2.assign(ws + 2, kNegInf);
-    snap_ip.assign(ws + 2, kNegInf);
-    snap_dp.assign(ws + 2, kNegInf);
-    // +8 slack: the AVX2 base loads read 8 bytes per step.
-    base_a.assign(ws + 8, 0);
-    base_b.assign(ws + 8, 0);
-    codes.assign(ws + 8, 0);
+    snap_hp = scratch.snap_hp.data();
+    snap_h2 = scratch.snap_h2.data();
+    snap_ip = scratch.snap_ip.data();
+    snap_dp = scratch.snap_dp.data();
+    base_a = scratch.base_a.data();
+    base_b = scratch.base_b.data();
+    codes = scratch.codes.data();
   }
 };
 
@@ -649,10 +650,10 @@ void PairAligner::compute_diag_fast(std::int64_t s, std::int64_t lo,
 
   // Snapshot the band state this diagonal reads before overwriting it. The
   // destination offset +1 preserves the kNegInf pads installed at allocation.
-  std::memcpy(buf_.snap_hp.data() + 1, h_prev.data(), ws * sizeof(Score));
-  std::memcpy(buf_.snap_h2.data() + 1, h_cur.data(), ws * sizeof(Score));
-  std::memcpy(buf_.snap_ip.data() + 1, buf_.iv.data(), ws * sizeof(Score));
-  std::memcpy(buf_.snap_dp.data() + 1, buf_.dv.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_hp + 1, h_prev.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_h2 + 1, h_cur.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_ip + 1, buf_.iv.data(), ws * sizeof(Score));
+  std::memcpy(buf_.snap_dp + 1, buf_.dv.data(), ws * sizeof(Score));
 
   std::fill_n(h_cur.data(), ws, kNegInf);
   std::fill_n(buf_.iv.data(), ws, kNegInf);
@@ -686,23 +687,23 @@ void PairAligner::compute_diag_fast(std::int64_t s, std::int64_t lo,
   // Bulk-decode the bases this interior run compares: a[ilo-1 .. ihi-1]
   // ascending, b[s-ihi-1 .. s-ilo-1] reversed so lane t pairs a[ilo-1+t]
   // with b[s-ilo-1-t].
-  buf_.win_a.decode(ilo - 1, ihi, buf_.base_a.data());
-  buf_.win_b.decode(s - ihi - 1, s - ilo, buf_.base_b.data());
-  std::reverse(buf_.base_b.data(), buf_.base_b.data() + len);
+  buf_.win_a.decode(ilo - 1, ihi, buf_.base_a);
+  buf_.win_b.decode(s - ihi - 1, s - ilo, buf_.base_b);
+  std::reverse(buf_.base_b, buf_.base_b + len);
 
   const std::int64_t ka = ilo - lo;
   simd::DiagSpan span{};
-  span.up_h = buf_.snap_hp.data() + 1 + ka + shift1 - 1;
-  span.up_i = buf_.snap_ip.data() + 1 + ka + shift1 - 1;
-  span.left_h = buf_.snap_hp.data() + 1 + ka + shift1;
-  span.left_d = buf_.snap_dp.data() + 1 + ka + shift1;
-  span.diag_h = buf_.snap_h2.data() + 1 + ka + shift2 - 1;
-  span.base_a = buf_.base_a.data();
-  span.base_b = buf_.base_b.data();
+  span.up_h = buf_.snap_hp + 1 + ka + shift1 - 1;
+  span.up_i = buf_.snap_ip + 1 + ka + shift1 - 1;
+  span.left_h = buf_.snap_hp + 1 + ka + shift1;
+  span.left_d = buf_.snap_dp + 1 + ka + shift1;
+  span.diag_h = buf_.snap_h2 + 1 + ka + shift2 - 1;
+  span.base_a = buf_.base_a;
+  span.base_b = buf_.base_b;
   span.out_h = h_cur.data() + ka;
   span.out_i = buf_.iv.data() + ka;
   span.out_d = buf_.dv.data() + ka;
-  span.codes = traceback_on_ ? buf_.codes.data() : nullptr;
+  span.codes = traceback_on_ ? buf_.codes : nullptr;
   span.len = len;
   span.match = sc.match;
   span.mismatch = sc.mismatch;
@@ -815,6 +816,29 @@ void PairAligner::write_result(std::uint32_t pair_index,
 
 }  // namespace
 
+void KernelScratch::prepare(std::int64_t band_width) {
+  const std::size_t ws = static_cast<std::size_t>(band_width);
+  if (snap_hp.size() != ws + 2) {
+    snap_hp.assign(ws + 2, kNegInf);
+    snap_h2.assign(ws + 2, kNegInf);
+    snap_ip.assign(ws + 2, kNegInf);
+    snap_dp.assign(ws + 2, kNegInf);
+    // +8 slack: the AVX2 base loads read 8 bytes per step.
+    base_a.assign(ws + 8, 0);
+    base_b.assign(ws + 8, 0);
+    codes.assign(ws + 8, 0);
+    return;
+  }
+  // Reused arena: the sweep memcpy-overwrites the interior [1, ws] before
+  // every read and never reads base/code slots past the lanes it wrote, so
+  // stale content is unreachable. The pads are the one exception — they are
+  // read but never written; re-assert them against accidental clobber.
+  snap_hp.front() = snap_hp.back() = kNegInf;
+  snap_h2.front() = snap_h2.back() = kNegInf;
+  snap_ip.front() = snap_ip.back() = kNegInf;
+  snap_dp.front() = snap_dp.back() = kNegInf;
+}
+
 void NwDpuProgram::run(DpuContext& ctx) {
   // Boot: parse the batch header.
   Batch batch;
@@ -834,11 +858,14 @@ void NwDpuProgram::run(DpuContext& ctx) {
 
   const int pools = pool_config_.pools;
   const int tasklets = pool_config_.tasklets_per_pool;
+  KernelScratch local_scratch;
+  KernelScratch& scratch = scratch_ != nullptr ? *scratch_ : local_scratch;
+  scratch.prepare(batch.header.band_width);
   std::vector<PoolBuffers> buffers(static_cast<std::size_t>(pools));
   for (int p = 0; p < pools; ++p) {
     ctx.cost.pool(p).serial(cost_.launch_setup_instr);
     buffers[static_cast<std::size_t>(p)].allocate(
-        ctx, ctx.cost.pool(p), batch.header.band_width);
+        ctx, ctx.cost.pool(p), batch.header.band_width, scratch);
   }
 
   // Work distribution (§4.2.3): each pool grabs the next pair as soon as it

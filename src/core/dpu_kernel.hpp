@@ -17,19 +17,48 @@
 // DPU cost model.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/dpu_cost.hpp"
 #include "core/params.hpp"
 #include "upmem/dpu.hpp"
 
 namespace pimnw::core {
 
+/// Host-side fast-path scratch (the padded band snapshots and bulk-decoded
+/// base/BT byte arrays of DESIGN.md "Simulator fast path"). It models no DPU
+/// state, so one instance can be shared by every pool of a launch (pairs
+/// align strictly one at a time) and reused across launches — the execution
+/// engine keeps one per worker thread instead of reallocating ~7 vectors per
+/// DPU launch. Safe to reuse because the sweep rewrites every interior slot
+/// it reads each anti-diagonal; only the kNegInf pads persist, and prepare()
+/// re-asserts them.
+struct KernelScratch {
+  std::vector<align::Score> snap_hp;
+  std::vector<align::Score> snap_h2;
+  std::vector<align::Score> snap_ip;
+  std::vector<align::Score> snap_dp;
+  std::vector<std::uint8_t> base_a;
+  std::vector<std::uint8_t> base_b;
+  std::vector<std::uint8_t> codes;
+
+  /// Size for `band_width` and (re-)install the out-of-band pads.
+  void prepare(std::int64_t band_width);
+};
+
 class NwDpuProgram : public upmem::DpuProgram {
  public:
+  /// `scratch` may be nullptr (the program then keeps a private arena) or a
+  /// caller-owned KernelScratch that must outlive the launch and must not be
+  /// shared with a concurrently running program.
   NwDpuProgram(PoolConfig pool_config, KernelVariant variant,
-               SimPath sim_path = SimPath::kAuto)
+               SimPath sim_path = SimPath::kAuto,
+               KernelScratch* scratch = nullptr)
       : pool_config_(pool_config),
         cost_(kernel_cost(variant)),
-        sim_path_(sim_path) {}
+        sim_path_(sim_path),
+        scratch_(scratch) {}
 
   void run(upmem::DpuContext& ctx) override;
 
@@ -37,6 +66,7 @@ class NwDpuProgram : public upmem::DpuProgram {
   PoolConfig pool_config_;
   KernelCost cost_;
   SimPath sim_path_;  // host execution strategy; never affects modeled cost
+  KernelScratch* scratch_;  // optional shared arena (not owned)
 };
 
 }  // namespace pimnw::core

@@ -1,0 +1,453 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "align/result.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pimnw::core {
+
+void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
+                   const PimAlignerConfig& config,
+                   std::optional<std::uint64_t> pool_offset,
+                   const SeqPool* shared_pool) {
+  if (shared_pool != nullptr) {
+    plan.image = build_mram_image(plan.batch, *shared_pool, config.align,
+                                  config.pool, pool_offset);
+  } else {
+    const SeqPool pool = SeqPool::build(interner.seqs());
+    plan.image =
+        build_mram_image(plan.batch, pool, config.align, config.pool);
+  }
+  plan.prep_bases = interner.bases();
+
+  BatchHeader header;
+  std::memcpy(&header, plan.image.bytes.data(), sizeof(header));
+  plan.meta.reserve(plan.batch.pairs.size());
+  for (std::size_t p = 0; p < plan.batch.pairs.size(); ++p) {
+    PairEntry entry;
+    std::memcpy(&entry,
+                plan.image.bytes.data() + header.pair_table_off +
+                    p * sizeof(PairEntry),
+                sizeof(PairEntry));
+    plan.meta.push_back({entry.global_id, entry.cigar_off - header.result_off,
+                         entry.cigar_cap});
+  }
+}
+
+void decode_readback(const DpuPlan& plan,
+                     const std::vector<std::uint8_t>& readback,
+                     std::vector<PairOutput>* out) {
+  for (std::size_t p = 0; p < plan.meta.size(); ++p) {
+    PairResult result;
+    std::memcpy(&result, readback.data() + p * sizeof(PairResult),
+                sizeof(PairResult));
+    PairOutput output;
+    output.ok = result.status == kStatusOk;
+    output.score = output.ok ? result.score : align::kNegInf;
+    output.dpu_pool_cycles =
+        (static_cast<std::uint64_t>(result.pool_cycles_hi) << 32) |
+        result.pool_cycles_lo;
+    output.dpu_dma_bytes = result.dma_bytes;
+    if (output.ok && result.cigar_runs > 0) {
+      PIMNW_CHECK_MSG(result.cigar_runs <= plan.meta[p].cigar_cap,
+                      "DPU reported more cigar runs than its slot holds");
+      std::vector<std::uint32_t> runs(result.cigar_runs);
+      std::memcpy(runs.data(), readback.data() + plan.meta[p].cigar_rel,
+                  result.cigar_runs * sizeof(std::uint32_t));
+      output.cigar = decode_cigar(runs);
+    }
+    if (out != nullptr) {
+      (*out)[plan.meta[p].global_id] = std::move(output);
+    }
+  }
+}
+
+/// Per-worker scratch arena: a private simulated DPU (its bank is written
+/// with whichever plan's image the worker executes next — safe because the
+/// kernel never reads bank bytes it did not write this launch, the same
+/// invariant the legacy mode relies on when it reuses rank banks across
+/// batches), a reusable WRAM scratchpad (reset() restores the fresh-launch
+/// state) and the host-side KernelScratch snapshots.
+struct ExecEngine::Arena {
+  upmem::Dpu dpu;
+  upmem::Wram wram;
+  KernelScratch scratch;
+  std::vector<std::uint8_t> readback;
+  std::uint64_t broadcast_seen = 0;
+};
+
+/// One in-flight rank-batch. `jobs_left` counts the build job (as a sentinel
+/// so the slot cannot look done while exec jobs are still being posted) plus
+/// one exec job per non-empty plan; `done`/`error` are guarded by the
+/// engine mutex.
+struct ExecEngine::Slot {
+  PreparedBatch prepared;
+  std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries;
+  std::array<bool, upmem::kDpusPerRank> ran{};
+  std::atomic<int> jobs_left{0};
+  bool done = true;
+  std::exception_ptr error;
+};
+
+ExecEngine::ExecEngine(const PimAlignerConfig& config,
+                       const HostCost& host_cost)
+    : config_(config),
+      host_cost_(host_cost),
+      pool_(config.workers != nullptr ? config.workers : &global_pool()),
+      system_(config.nr_ranks),
+      rank_free_(static_cast<std::size_t>(config.nr_ranks), 0.0),
+      rank_exec_(static_cast<std::size_t>(config.nr_ranks), 0.0) {
+  if (config_.engine == EngineMode::kPipelined) {
+    // Arena 0 serves outside threads (the committing caller when it helps
+    // execute jobs); arenas 1..size serve the pool workers.
+    arenas_.reserve(pool_->size() + 1);
+    for (std::size_t i = 0; i < pool_->size() + 1; ++i) {
+      arenas_.push_back(std::make_unique<Arena>());
+    }
+  }
+}
+
+ExecEngine::~ExecEngine() = default;
+
+void ExecEngine::charge_prep(double seconds) {
+  prep_clock_ += seconds;
+  report_.host_prep_seconds += seconds;
+}
+
+void ExecEngine::set_broadcast(std::span<const std::uint8_t> bytes,
+                               std::uint64_t mram_offset) {
+  upmem::TransferStats stats;
+  if (config_.engine == EngineMode::kLegacyBarrier) {
+    stats = system_.broadcast_all(bytes, mram_offset);
+  } else {
+    // One host-side copy instead of nr_dpus bank writes; each worker arena
+    // installs it lazily before its first job. The modeled cost is still a
+    // write of every bank, exactly as broadcast_all charges.
+    broadcast_bytes_.assign(bytes.begin(), bytes.end());
+    broadcast_off_ = mram_offset;
+    ++broadcast_version_;
+    stats = upmem::PimSystem::broadcast_stats(bytes.size(),
+                                              system_.nr_dpus());
+  }
+  report_.bytes_to_dpus += stats.bytes;
+  report_.transfer_seconds += stats.seconds;
+  for (double& t : rank_free_) t = std::max(t, stats.seconds);
+  makespan_ = std::max(makespan_, stats.seconds);
+}
+
+void ExecEngine::run(std::size_t n_batches,
+                     const std::function<PreparedBatch(std::size_t)>& build,
+                     std::vector<PairOutput>* out) {
+  if (n_batches == 0) return;
+  if (config_.engine == EngineMode::kLegacyBarrier) {
+    run_legacy(n_batches, build, out);
+    return;
+  }
+
+  const std::size_t window =
+      std::min(std::max<std::size_t>(1, config_.batch_window), n_batches);
+  slots_.clear();
+  for (std::size_t i = 0; i < window; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+
+  std::size_t scheduled = 0;
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    for (; scheduled < n_batches && scheduled < b + window; ++scheduled) {
+      schedule(*slots_[scheduled % window], scheduled, build, out);
+    }
+    Slot& slot = *slots_[b % window];
+    wait_for(slot);
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error = slot.error;
+    }
+    if (error) {
+      // Drain every other in-flight slot before unwinding: their jobs still
+      // reference slot state and the build closure.
+      for (std::size_t i = b + 1; i < scheduled; ++i) {
+        wait_for(*slots_[i % window]);
+      }
+      std::rethrow_exception(error);
+    }
+    commit(slot, out);
+  }
+}
+
+void ExecEngine::schedule(
+    Slot& slot, std::size_t index,
+    const std::function<PreparedBatch(std::size_t)>& build,
+    std::vector<PairOutput>* out) {
+  slot.prepared = PreparedBatch{};
+  slot.ran.fill(false);
+  slot.jobs_left.store(1, std::memory_order_relaxed);  // the build sentinel
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.done = false;
+    slot.error = nullptr;
+  }
+  pool_->post([this, &slot, &build, index, out] {
+    try {
+      slot.prepared = build(index);
+      PIMNW_CHECK_MSG(slot.prepared.plans.size() ==
+                          static_cast<std::size_t>(upmem::kDpusPerRank),
+                      "a PreparedBatch must carry one plan per DPU");
+      int jobs = 0;
+      for (const DpuPlan& plan : slot.prepared.plans) {
+        if (!plan.batch.pairs.empty()) ++jobs;
+      }
+      slot.jobs_left.fetch_add(jobs, std::memory_order_seq_cst);
+      for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+        if (slot.prepared.plans[static_cast<std::size_t>(d)]
+                .batch.pairs.empty()) {
+          continue;
+        }
+        pool_->post([this, &slot, d, out] {
+          try {
+            exec_plan(slot, d, out);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!slot.error) slot.error = std::current_exception();
+          }
+          job_done(slot);
+        });
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!slot.error) slot.error = std::current_exception();
+    }
+    job_done(slot);
+  });
+}
+
+void ExecEngine::exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out) {
+  DpuPlan& plan = slot.prepared.plans[static_cast<std::size_t>(dpu)];
+  const std::size_t ai = static_cast<std::size_t>(pool_->worker_index() + 1);
+  Arena& arena = *arenas_[ai];
+  if (arena.broadcast_seen != broadcast_version_) {
+    arena.dpu.mram().write(broadcast_off_, broadcast_bytes_);
+    arena.broadcast_seen = broadcast_version_;
+  }
+  arena.dpu.mram().write(0, plan.image.bytes);
+  NwDpuProgram program(config_.pool, config_.variant, config_.sim_path,
+                       &arena.scratch);
+  slot.summaries[static_cast<std::size_t>(dpu)] = arena.dpu.launch(
+      program, config_.pool.pools, config_.pool.tasklets_per_pool,
+      arena.wram);
+  slot.ran[static_cast<std::size_t>(dpu)] = true;
+  arena.readback.resize(plan.image.readback_bytes);
+  arena.dpu.mram().read(plan.image.result_off, arena.readback);
+  decode_readback(plan, arena.readback, out);
+}
+
+void ExecEngine::job_done(Slot& slot) {
+  if (slot.jobs_left.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.done = true;
+    cv_.notify_all();
+  }
+}
+
+void ExecEngine::wait_for(Slot& slot) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (slot.done) return;
+    }
+    // Help run jobs (ours or anyone's) instead of parking; fall back to a
+    // short timed wait when the queues look empty but the slot is still
+    // running on some worker.
+    if (!pool_->help_one()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [&slot] { return slot.done; });
+      if (slot.done) return;
+    }
+  }
+}
+
+/// The commit stage: pure arithmetic over numbers produced by the exec jobs,
+/// applied strictly in batch order with the same accumulation order as the
+/// pre-engine serial loop — so every double in the RunReport is bit-identical
+/// regardless of execution interleaving. (The PairOutputs were already
+/// decoded by the exec jobs; global ids are unique, so those writes are
+/// disjoint and order-free.)
+void ExecEngine::commit(Slot& slot, std::vector<PairOutput>* out) {
+  (void)out;
+  const std::vector<DpuPlan>& plans = slot.prepared.plans;
+  double prep_seconds = slot.prepared.extra_prep_seconds;
+  std::uint64_t batch_pairs = 0;
+  std::uint64_t in_bytes = 0;
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    const DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+    if (plan.batch.pairs.empty()) continue;
+    in_bytes += plan.image.bytes.size();
+    prep_seconds +=
+        static_cast<double>(plan.prep_bases) * host_cost_.per_base_seconds +
+        static_cast<double>(plan.batch.pairs.size()) *
+            host_cost_.per_pair_seconds;
+    batch_pairs += plan.batch.pairs.size();
+  }
+  prep_clock_ += prep_seconds;
+  report_.host_prep_seconds += prep_seconds;
+  imbalance_sum_ += slot.prepared.imbalance;
+
+  const int r = static_cast<int>(
+      std::min_element(rank_free_.begin(), rank_free_.end()) -
+      rank_free_.begin());
+
+  const upmem::TransferStats in_stats =
+      upmem::PimSystem::transfer_stats(in_bytes);
+  report_.bytes_to_dpus += in_stats.bytes;
+  report_.transfer_seconds += in_stats.seconds;
+
+  const upmem::Rank::LaunchStats launch_stats =
+      upmem::Rank::aggregate(slot.summaries, slot.ran);
+  util_sum_ += launch_stats.mean_pipeline_utilization;
+  mram_sum_ += launch_stats.mean_mram_overhead;
+  ++launches_;
+  report_.total_instructions += launch_stats.total_instructions;
+  report_.total_dma_bytes += launch_stats.total_dma_bytes;
+
+  std::uint64_t out_bytes = 0;
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    const DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+    if (plan.batch.pairs.empty()) continue;
+    out_bytes += plan.image.readback_bytes;
+  }
+  const upmem::TransferStats out_stats =
+      upmem::PimSystem::transfer_stats(out_bytes);
+  report_.bytes_from_dpus += out_stats.bytes;
+  report_.transfer_seconds += out_stats.seconds;
+
+  // Timeline: the batch waits for its prep (reader thread) and its rank;
+  // transfers serialise with that rank's execution (§2.1).
+  const double start =
+      std::max(prep_clock_, rank_free_[static_cast<std::size_t>(r)]);
+  const double end = start + in_stats.seconds +
+                     host_cost_.per_launch_seconds + launch_stats.seconds +
+                     out_stats.seconds;
+  rank_free_[static_cast<std::size_t>(r)] = end;
+  rank_exec_[static_cast<std::size_t>(r)] += launch_stats.seconds;
+  makespan_ = std::max(makespan_, end);
+  ++report_.batches;
+  report_.total_pairs += batch_pairs;
+}
+
+void ExecEngine::run_legacy(
+    std::size_t n_batches,
+    const std::function<PreparedBatch(std::size_t)>& build,
+    std::vector<PairOutput>* out) {
+  // One-ahead pipeline: while a batch simulates, the next one is built on a
+  // pool worker (§4.1.3 reader-thread overlap). Wall-clock only: the modeled
+  // timeline charges prep exactly as in the serial schedule.
+  Prefetch<PreparedBatch> ahead(pool_);
+  ahead.stage([&build] { return build(0); });
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    PreparedBatch prepared = ahead.take();
+    if (b + 1 < n_batches) {
+      ahead.stage([&build, b] { return build(b + 1); });
+    }
+    legacy_run_batch(prepared, out);
+  }
+}
+
+/// The pre-engine BatchEngine::run_batch, verbatim: transfer into the next
+/// free rank's banks, launch behind the rank barrier with the contiguous
+/// chunk schedule, read back and decode serially.
+void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
+                                  std::vector<PairOutput>* out) {
+  std::vector<DpuPlan>& plans = prepared.plans;
+  PIMNW_CHECK_MSG(plans.size() ==
+                      static_cast<std::size_t>(upmem::kDpusPerRank),
+                  "a PreparedBatch must carry one plan per DPU");
+  double prep_seconds = prepared.extra_prep_seconds;
+  std::uint64_t batch_pairs = 0;
+  std::vector<std::vector<std::uint8_t>> to_dpu(upmem::kDpusPerRank);
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+    if (plan.batch.pairs.empty()) continue;
+    to_dpu[static_cast<std::size_t>(d)] = plan.image.bytes;
+    prep_seconds +=
+        static_cast<double>(plan.prep_bases) * host_cost_.per_base_seconds +
+        static_cast<double>(plan.batch.pairs.size()) *
+            host_cost_.per_pair_seconds;
+    batch_pairs += plan.batch.pairs.size();
+  }
+  prep_clock_ += prep_seconds;
+  report_.host_prep_seconds += prep_seconds;
+  imbalance_sum_ += prepared.imbalance;
+
+  const int r = static_cast<int>(
+      std::min_element(rank_free_.begin(), rank_free_.end()) -
+      rank_free_.begin());
+
+  const upmem::TransferStats in_stats = system_.copy_to_rank(r, to_dpu, 0);
+  report_.bytes_to_dpus += in_stats.bytes;
+  report_.transfer_seconds += in_stats.seconds;
+
+  const upmem::Rank::LaunchStats launch_stats = system_.rank(r).launch(
+      [&](int d) -> std::unique_ptr<upmem::DpuProgram> {
+        if (plans[static_cast<std::size_t>(d)].batch.pairs.empty()) {
+          return nullptr;
+        }
+        return std::make_unique<NwDpuProgram>(config_.pool, config_.variant,
+                                              config_.sim_path);
+      },
+      config_.pool.pools, config_.pool.tasklets_per_pool, pool_,
+      /*static_chunking=*/true);
+  util_sum_ += launch_stats.mean_pipeline_utilization;
+  mram_sum_ += launch_stats.mean_mram_overhead;
+  ++launches_;
+  report_.total_instructions += launch_stats.total_instructions;
+  report_.total_dma_bytes += launch_stats.total_dma_bytes;
+
+  upmem::TransferStats out_stats{};
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    const DpuPlan& plan = plans[static_cast<std::size_t>(d)];
+    if (plan.batch.pairs.empty()) continue;
+    std::vector<std::uint8_t> readback(plan.image.readback_bytes);
+    system_.rank(r).dpu(d).mram().read(plan.image.result_off, readback);
+    out_stats.bytes += plan.image.readback_bytes;
+    decode_readback(plan, readback, out);
+  }
+  out_stats.seconds =
+      upmem::PimSystem::host_transfer_seconds(out_stats.bytes);
+  report_.bytes_from_dpus += out_stats.bytes;
+  report_.transfer_seconds += out_stats.seconds;
+
+  const double start =
+      std::max(prep_clock_, rank_free_[static_cast<std::size_t>(r)]);
+  const double end = start + in_stats.seconds +
+                     host_cost_.per_launch_seconds + launch_stats.seconds +
+                     out_stats.seconds;
+  rank_free_[static_cast<std::size_t>(r)] = end;
+  rank_exec_[static_cast<std::size_t>(r)] += launch_stats.seconds;
+  makespan_ = std::max(makespan_, end);
+  ++report_.batches;
+  report_.total_pairs += batch_pairs;
+}
+
+RunReport ExecEngine::finish() {
+  report_.makespan_seconds = makespan_;
+  const double busiest_exec =
+      *std::max_element(rank_exec_.begin(), rank_exec_.end());
+  report_.host_overhead_fraction =
+      makespan_ > 0 ? (makespan_ - busiest_exec) / makespan_ : 0.0;
+  if (report_.batches > 0) {
+    report_.load_imbalance =
+        imbalance_sum_ / static_cast<double>(report_.batches);
+  }
+  if (launches_ > 0) {
+    report_.mean_pipeline_utilization = util_sum_ / launches_;
+    report_.mean_mram_overhead = mram_sum_ / launches_;
+  }
+  return report_;
+}
+
+}  // namespace pimnw::core

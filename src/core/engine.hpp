@@ -1,0 +1,193 @@
+// The host execution engine (ISSUE 2, DESIGN.md "Execution engine").
+//
+// The three run loops of core/host.cpp slice their workload into rank-batches
+// of 64 per-DPU plans; this engine executes those batches. Two modes, chosen
+// by PimAlignerConfig::engine:
+//
+//  * kPipelined (default): up to `batch_window` batches are in flight at
+//    once. A batch is built on a pool worker, then fans out into one job per
+//    non-empty DPU plan; jobs land in the workers' Chase–Lev deques and are
+//    executed — stolen, reordered, interleaved across batches — on
+//    per-worker scratch arenas (a private Dpu bank + reusable WRAM +
+//    KernelScratch). A sequenced commit stage on the calling thread then
+//    applies the modeled timeline strictly in batch order, with arithmetic
+//    identical to the serial schedule, so every score, CIGAR, cycle count,
+//    DMA byte and timeline figure is bit-identical for any worker count and
+//    any steal order (engine_test pins this).
+//
+//  * kLegacyBarrier: the pre-pipeline behaviour — one batch at a time,
+//    one-slot Prefetch look-ahead, contiguous-chunk parallel_for behind a
+//    rank barrier. Kept as the wall-clock baseline for BENCH_host.json and
+//    as the determinism test's reference schedule.
+//
+// Modeled time is unaffected by the mode because the timeline is derived
+// from the cost models (cycles, bytes) in commit order, never from host
+// wall-clock; out-of-order execution changes only when the numbers become
+// available, not what they are.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/dpu_cost.hpp"
+#include "core/dpu_kernel.hpp"
+#include "core/host.hpp"
+#include "core/mram_layout.hpp"
+#include "upmem/system.hpp"
+
+namespace pimnw {
+class ThreadPool;
+}
+
+namespace pimnw::core {
+
+/// Decode metadata the host keeps per dispatched DPU, to interpret the
+/// readback buffer.
+struct LocalPairMeta {
+  std::uint32_t global_id = 0;
+  std::uint64_t cigar_rel = 0;  // cigar slot offset relative to result_off
+  std::uint32_t cigar_cap = 0;
+};
+
+/// The work of one DPU within a rank-batch: its serialized MRAM image plus
+/// what the host needs to charge prep time and decode the readback.
+struct DpuPlan {
+  DpuBatchInput batch;
+  MramImage image;
+  std::vector<LocalPairMeta> meta;
+  std::uint64_t prep_bases = 0;
+};
+
+/// One rank-batch of 64 per-DPU plans, built by a caller-supplied closure
+/// (possibly on a pool worker, concurrently with other batches). Building is
+/// pure CPU over caller-owned read-only input, so it is safe off the main
+/// thread; the *modeled* prep time is charged at commit, in batch order.
+struct PreparedBatch {
+  std::vector<DpuPlan> plans;
+  double imbalance = 1.0;
+  /// Host prep seconds to charge on top of the per-plan base/pair costs.
+  double extra_prep_seconds = 0.0;
+};
+
+/// Sequence interner: dedups by data pointer so a read shared by many pairs
+/// of the same DPU is packed and transferred once.
+class SeqInterner {
+ public:
+  std::uint32_t intern(std::string_view s) {
+    auto [it, inserted] = index_.try_emplace(
+        s.data(), static_cast<std::uint32_t>(seqs_.size()));
+    if (inserted) {
+      seqs_.push_back(s);
+      bases_ += s.size();
+    }
+    return it->second;
+  }
+
+  std::span<const std::string_view> seqs() const { return seqs_; }
+  std::uint64_t bases() const { return bases_; }
+
+ private:
+  std::vector<std::string_view> seqs_;
+  std::map<const char*, std::uint32_t> index_;
+  std::uint64_t bases_ = 0;
+};
+
+/// Serialize a plan's batch and recover the decoding metadata.
+void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
+                   const PimAlignerConfig& config,
+                   std::optional<std::uint64_t> pool_offset = std::nullopt,
+                   const SeqPool* shared_pool = nullptr);
+
+/// Decode one DPU's readback region into PairOutputs (indexed by global id).
+/// Global ids are unique across a run, so concurrent decodes of different
+/// plans write disjoint `out` slots.
+void decode_readback(const DpuPlan& plan,
+                     const std::vector<std::uint8_t>& readback,
+                     std::vector<PairOutput>* out);
+
+/// Executes rank-batches and accumulates the modeled timeline + RunReport.
+/// See the file comment for the two modes. Not reentrant; run() must be
+/// called from outside the worker pool.
+class ExecEngine {
+ public:
+  ExecEngine(const PimAlignerConfig& config, const HostCost& host_cost);
+  ~ExecEngine();
+
+  ExecEngine(const ExecEngine&) = delete;
+  ExecEngine& operator=(const ExecEngine&) = delete;
+
+  /// Record host pre-processing that happens once, before any batch (e.g.
+  /// the broadcast encode of align_all_vs_all).
+  void charge_prep(double seconds);
+
+  /// Broadcast `bytes` to every DPU at `mram_offset` (the 16S experiment's
+  /// shared sequence pool) and charge the transfer, which delays every rank.
+  /// In pipelined mode the buffer is kept and lazily written into each
+  /// worker arena's bank; the modeled cost is identical to writing all
+  /// nr_dpus banks.
+  void set_broadcast(std::span<const std::uint8_t> bytes,
+                     std::uint64_t mram_offset);
+
+  /// Execute `n_batches` batches. `build(b)` produces batch b's plans; it
+  /// must be thread-safe (pipelined mode builds several batches at once on
+  /// pool workers) and must return exactly upmem::kDpusPerRank plans.
+  /// Results are decoded into `out` (indexed by global id; may be null).
+  void run(std::size_t n_batches,
+           const std::function<PreparedBatch(std::size_t)>& build,
+           std::vector<PairOutput>* out);
+
+  RunReport finish();
+
+ private:
+  struct Arena;
+  struct Slot;
+
+  void commit(Slot& slot, std::vector<PairOutput>* out);
+  void schedule(Slot& slot, std::size_t index,
+                const std::function<PreparedBatch(std::size_t)>& build,
+                std::vector<PairOutput>* out);
+  void exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out);
+  void job_done(Slot& slot);
+  void wait_for(Slot& slot);
+  void run_legacy(std::size_t n_batches,
+                  const std::function<PreparedBatch(std::size_t)>& build,
+                  std::vector<PairOutput>* out);
+  void legacy_run_batch(PreparedBatch& prepared, std::vector<PairOutput>* out);
+
+  const PimAlignerConfig& config_;
+  const HostCost& host_cost_;
+  ThreadPool* pool_;  // config_.workers or global_pool(); never null
+  upmem::PimSystem system_;  // banks used by the legacy mode only
+
+  // Modeled-timeline state (identical to the pre-engine BatchEngine).
+  RunReport report_;
+  std::vector<double> rank_free_;
+  std::vector<double> rank_exec_;
+  double prep_clock_ = 0.0;
+  double makespan_ = 0.0;
+  double imbalance_sum_ = 0.0;
+  double util_sum_ = 0.0;
+  double mram_sum_ = 0.0;
+  int launches_ = 0;
+
+  // Pipelined-mode state.
+  std::vector<std::unique_ptr<Arena>> arenas_;  // [worker_index + 1]
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::uint8_t> broadcast_bytes_;
+  std::uint64_t broadcast_off_ = 0;
+  std::uint64_t broadcast_version_ = 0;
+};
+
+}  // namespace pimnw::core

@@ -1,259 +1,17 @@
 #include "core/host.hpp"
 
 #include <algorithm>
-#include <cstring>
-#include <map>
 #include <memory>
 
 #include "align/banded_adaptive.hpp"
-#include "core/dpu_kernel.hpp"
+#include "core/engine.hpp"
 #include "core/load_balance.hpp"
 #include "core/mram_layout.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 
 namespace pimnw::core {
 namespace {
-
-/// Decode metadata the host keeps per dispatched DPU, to interpret the
-/// readback buffer.
-struct LocalPairMeta {
-  std::uint32_t global_id = 0;
-  std::uint64_t cigar_rel = 0;  // cigar slot offset relative to result_off
-  std::uint32_t cigar_cap = 0;
-};
-
-struct DpuPlan {
-  DpuBatchInput batch;
-  MramImage image;
-  std::vector<LocalPairMeta> meta;
-  std::uint64_t prep_bases = 0;
-};
-
-/// One rank-batch of plans, built ahead of time on a Prefetch worker while
-/// the previous batch simulates. Building a batch (encode, intern, LPT,
-/// build_mram_image) is pure CPU over caller-owned input, so it is safe off
-/// the main thread; the *modeled* prep time is still charged inside
-/// run_batch, so overlapping changes wall-clock only.
-struct PreparedBatch {
-  std::vector<DpuPlan> plans;
-  double imbalance = 1.0;
-};
-
-/// Sequence interner: dedups by data pointer so a read shared by many pairs
-/// of the same DPU is packed and transferred once.
-class SeqInterner {
- public:
-  std::uint32_t intern(std::string_view s) {
-    auto [it, inserted] = index_.try_emplace(
-        s.data(), static_cast<std::uint32_t>(seqs_.size()));
-    if (inserted) {
-      seqs_.push_back(s);
-      bases_ += s.size();
-    }
-    return it->second;
-  }
-
-  std::span<const std::string_view> seqs() const { return seqs_; }
-  std::uint64_t bases() const { return bases_; }
-
- private:
-  std::vector<std::string_view> seqs_;
-  std::map<const char*, std::uint32_t> index_;
-  std::uint64_t bases_ = 0;
-};
-
-/// Serialize a plan's batch and recover the decoding metadata.
-void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
-                   const PimAlignerConfig& config,
-                   std::optional<std::uint64_t> pool_offset = std::nullopt,
-                   const SeqPool* shared_pool = nullptr) {
-  if (shared_pool != nullptr) {
-    plan.image = build_mram_image(plan.batch, *shared_pool, config.align,
-                                  config.pool, pool_offset);
-  } else {
-    const SeqPool pool = SeqPool::build(interner.seqs());
-    plan.image =
-        build_mram_image(plan.batch, pool, config.align, config.pool);
-  }
-  plan.prep_bases = interner.bases();
-
-  BatchHeader header;
-  std::memcpy(&header, plan.image.bytes.data(), sizeof(header));
-  plan.meta.reserve(plan.batch.pairs.size());
-  for (std::size_t p = 0; p < plan.batch.pairs.size(); ++p) {
-    PairEntry entry;
-    std::memcpy(&entry,
-                plan.image.bytes.data() + header.pair_table_off +
-                    p * sizeof(PairEntry),
-                sizeof(PairEntry));
-    plan.meta.push_back({entry.global_id, entry.cigar_off - header.result_off,
-                         entry.cigar_cap});
-  }
-}
-
-/// Decode one DPU's readback region into PairOutputs (indexed by global id).
-void decode_readback(const DpuPlan& plan,
-                     const std::vector<std::uint8_t>& readback,
-                     std::vector<PairOutput>* out) {
-  for (std::size_t p = 0; p < plan.meta.size(); ++p) {
-    PairResult result;
-    std::memcpy(&result, readback.data() + p * sizeof(PairResult),
-                sizeof(PairResult));
-    PairOutput output;
-    output.ok = result.status == kStatusOk;
-    output.score = output.ok ? result.score : align::kNegInf;
-    output.dpu_pool_cycles =
-        (static_cast<std::uint64_t>(result.pool_cycles_hi) << 32) |
-        result.pool_cycles_lo;
-    output.dpu_dma_bytes = result.dma_bytes;
-    if (output.ok && result.cigar_runs > 0) {
-      PIMNW_CHECK_MSG(result.cigar_runs <= plan.meta[p].cigar_cap,
-                      "DPU reported more cigar runs than its slot holds");
-      std::vector<std::uint32_t> runs(result.cigar_runs);
-      std::memcpy(runs.data(), readback.data() + plan.meta[p].cigar_rel,
-                  result.cigar_runs * sizeof(std::uint32_t));
-      output.cigar = decode_cigar(runs);
-    }
-    if (out != nullptr) {
-      (*out)[plan.meta[p].global_id] = std::move(output);
-    }
-  }
-}
-
-/// Shared engine: owns the simulated system, the modeled event timeline and
-/// the RunReport accumulation. align_pairs / align_sets / align_all_vs_all
-/// only differ in how they slice work into per-DPU plans.
-class BatchEngine {
- public:
-  BatchEngine(const PimAlignerConfig& config, const HostCost& host_cost)
-      : config_(config),
-        host_cost_(host_cost),
-        system_(config.nr_ranks),
-        rank_free_(static_cast<std::size_t>(config.nr_ranks), 0.0),
-        rank_exec_(static_cast<std::size_t>(config.nr_ranks), 0.0) {}
-
-  upmem::PimSystem& system() { return system_; }
-
-  /// Record host pre-processing that happens once, before any batch (e.g.
-  /// the broadcast encode of align_all_vs_all).
-  void charge_prep(double seconds) {
-    prep_clock_ += seconds;
-    report_.host_prep_seconds += seconds;
-  }
-
-  /// Account a one-off transfer (broadcast) that delays every rank.
-  void charge_global_transfer(const upmem::TransferStats& stats) {
-    report_.bytes_to_dpus += stats.bytes;
-    report_.transfer_seconds += stats.seconds;
-    for (double& t : rank_free_) t = std::max(t, stats.seconds);
-    makespan_ = std::max(makespan_, stats.seconds);
-  }
-
-  /// Execute one rank-batch of per-DPU plans on the next free rank:
-  /// transfer in, launch, read back, decode, advance the timeline.
-  void run_batch(std::vector<DpuPlan>& plans, double extra_prep_seconds,
-                 double imbalance, std::vector<PairOutput>* out) {
-    double prep_seconds = extra_prep_seconds;
-    std::uint64_t batch_pairs = 0;
-    std::vector<std::vector<std::uint8_t>> to_dpu(upmem::kDpusPerRank);
-    for (int d = 0; d < upmem::kDpusPerRank; ++d) {
-      DpuPlan& plan = plans[static_cast<std::size_t>(d)];
-      if (plan.batch.pairs.empty()) continue;
-      to_dpu[static_cast<std::size_t>(d)] = plan.image.bytes;
-      prep_seconds +=
-          static_cast<double>(plan.prep_bases) * host_cost_.per_base_seconds +
-          static_cast<double>(plan.batch.pairs.size()) *
-              host_cost_.per_pair_seconds;
-      batch_pairs += plan.batch.pairs.size();
-    }
-    prep_clock_ += prep_seconds;
-    report_.host_prep_seconds += prep_seconds;
-    imbalance_sum_ += imbalance;
-
-    const int r = static_cast<int>(
-        std::min_element(rank_free_.begin(), rank_free_.end()) -
-        rank_free_.begin());
-
-    const upmem::TransferStats in_stats = system_.copy_to_rank(r, to_dpu, 0);
-    report_.bytes_to_dpus += in_stats.bytes;
-    report_.transfer_seconds += in_stats.seconds;
-
-    const upmem::Rank::LaunchStats launch_stats = system_.rank(r).launch(
-        [&](int d) -> std::unique_ptr<upmem::DpuProgram> {
-          if (plans[static_cast<std::size_t>(d)].batch.pairs.empty()) {
-            return nullptr;
-          }
-          return std::make_unique<NwDpuProgram>(config_.pool, config_.variant,
-                                                config_.sim_path);
-        },
-        config_.pool.pools, config_.pool.tasklets_per_pool);
-    util_sum_ += launch_stats.mean_pipeline_utilization;
-    mram_sum_ += launch_stats.mean_mram_overhead;
-    ++launches_;
-    report_.total_instructions += launch_stats.total_instructions;
-    report_.total_dma_bytes += launch_stats.total_dma_bytes;
-
-    upmem::TransferStats out_stats{};
-    for (int d = 0; d < upmem::kDpusPerRank; ++d) {
-      const DpuPlan& plan = plans[static_cast<std::size_t>(d)];
-      if (plan.batch.pairs.empty()) continue;
-      std::vector<std::uint8_t> readback(plan.image.readback_bytes);
-      system_.rank(r).dpu(d).mram().read(plan.image.result_off, readback);
-      out_stats.bytes += plan.image.readback_bytes;
-      decode_readback(plan, readback, out);
-    }
-    out_stats.seconds =
-        upmem::PimSystem::host_transfer_seconds(out_stats.bytes);
-    report_.bytes_from_dpus += out_stats.bytes;
-    report_.transfer_seconds += out_stats.seconds;
-
-    // Timeline: the batch waits for its prep (reader thread) and its rank;
-    // transfers serialise with that rank's execution (§2.1).
-    const double start =
-        std::max(prep_clock_, rank_free_[static_cast<std::size_t>(r)]);
-    const double end = start + in_stats.seconds +
-                       host_cost_.per_launch_seconds + launch_stats.seconds +
-                       out_stats.seconds;
-    rank_free_[static_cast<std::size_t>(r)] = end;
-    rank_exec_[static_cast<std::size_t>(r)] += launch_stats.seconds;
-    makespan_ = std::max(makespan_, end);
-    ++report_.batches;
-    report_.total_pairs += batch_pairs;
-  }
-
-  RunReport finish() {
-    report_.makespan_seconds = makespan_;
-    const double busiest_exec =
-        *std::max_element(rank_exec_.begin(), rank_exec_.end());
-    report_.host_overhead_fraction =
-        makespan_ > 0 ? (makespan_ - busiest_exec) / makespan_ : 0.0;
-    if (report_.batches > 0) {
-      report_.load_imbalance =
-          imbalance_sum_ / static_cast<double>(report_.batches);
-    }
-    if (launches_ > 0) {
-      report_.mean_pipeline_utilization = util_sum_ / launches_;
-      report_.mean_mram_overhead = mram_sum_ / launches_;
-    }
-    return report_;
-  }
-
- private:
-  const PimAlignerConfig& config_;
-  const HostCost& host_cost_;
-  upmem::PimSystem system_;
-  RunReport report_;
-  std::vector<double> rank_free_;
-  std::vector<double> rank_exec_;
-  double prep_clock_ = 0.0;
-  double makespan_ = 0.0;
-  double imbalance_sum_ = 0.0;
-  double util_sum_ = 0.0;
-  double mram_sum_ = 0.0;
-  int launches_ = 0;
-};
 
 /// Verify-mode cross-check: the DPU result must be bit-identical to the
 /// executable specification align::banded_adaptive.
@@ -282,6 +40,8 @@ void verify_against_reference(const PairOutput& output, std::string_view a,
 PimAligner::PimAligner(PimAlignerConfig config) : config_(std::move(config)) {
   PIMNW_CHECK_MSG(config_.nr_ranks >= 1, "need at least one rank");
   PIMNW_CHECK_MSG(config_.align.band_width >= 2, "band width must be >= 2");
+  PIMNW_CHECK_MSG(config_.batch_window >= 1,
+                  "batch window must be at least 1");
 }
 
 RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
@@ -293,7 +53,7 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
   }
   if (pairs.empty()) return report;
 
-  BatchEngine engine(config_, host_cost_);
+  ExecEngine engine(config_, host_cost_);
 
   const std::size_t batch_pairs =
       config_.batch_pairs != 0
@@ -301,7 +61,8 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
           : static_cast<std::size_t>(upmem::kDpusPerRank) *
                 static_cast<std::size_t>(config_.pool.pools) * 2;
 
-  auto build_batch = [&](std::size_t batch_start) -> PreparedBatch {
+  auto build_batch = [&](std::size_t batch_index) -> PreparedBatch {
+    const std::size_t batch_start = batch_index * batch_pairs;
     const std::size_t batch_end =
         std::min(pairs.size(), batch_start + batch_pairs);
 
@@ -334,20 +95,9 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
     return prepared;
   };
 
-  // One-ahead pipeline: while a batch simulates, the next one is built on a
-  // pool worker (§4.1.3 reader-thread overlap). Wall-clock only: the modeled
-  // timeline charges prep exactly as in the serial schedule.
-  Prefetch<PreparedBatch> ahead;
-  ahead.stage([&build_batch] { return build_batch(0); });
-  for (std::size_t batch_start = 0; batch_start < pairs.size();
-       batch_start += batch_pairs) {
-    PreparedBatch prepared = ahead.take();
-    const std::size_t next_start = batch_start + batch_pairs;
-    if (next_start < pairs.size()) {
-      ahead.stage([&build_batch, next_start] { return build_batch(next_start); });
-    }
-    engine.run_batch(prepared.plans, 0.0, prepared.imbalance, out);
-  }
+  const std::size_t n_batches =
+      (pairs.size() + batch_pairs - 1) / batch_pairs;
+  engine.run(n_batches, build_batch, out);
 
   report = engine.finish();
   report.total_pairs = pairs.size();
@@ -398,7 +148,7 @@ RunReport PimAligner::align_sets(
   if (flat.empty()) return report;
   std::vector<PairOutput> flat_out(flat.size());
 
-  BatchEngine engine(config_, host_cost_);
+  ExecEngine engine(config_, host_cost_);
 
   // Batch granularity: whole sets, several per DPU of a rank.
   const std::size_t batch_sets = std::max<std::size_t>(
@@ -407,7 +157,8 @@ RunReport PimAligner::align_sets(
           ? config_.batch_pairs
           : static_cast<std::size_t>(upmem::kDpusPerRank) * 2);
 
-  auto build_batch = [&](std::size_t batch_start) -> PreparedBatch {
+  auto build_batch = [&](std::size_t batch_index) -> PreparedBatch {
+    const std::size_t batch_start = batch_index * batch_sets;
     const std::size_t batch_end =
         std::min(sets.size(), batch_start + batch_sets);
 
@@ -444,17 +195,8 @@ RunReport PimAligner::align_sets(
     return prepared;
   };
 
-  Prefetch<PreparedBatch> ahead;
-  ahead.stage([&build_batch] { return build_batch(0); });
-  for (std::size_t batch_start = 0; batch_start < sets.size();
-       batch_start += batch_sets) {
-    PreparedBatch prepared = ahead.take();
-    const std::size_t next_start = batch_start + batch_sets;
-    if (next_start < sets.size()) {
-      ahead.stage([&build_batch, next_start] { return build_batch(next_start); });
-    }
-    engine.run_batch(prepared.plans, 0.0, prepared.imbalance, &flat_out);
-  }
+  const std::size_t n_batches = (sets.size() + batch_sets - 1) / batch_sets;
+  engine.run(n_batches, build_batch, &flat_out);
 
   report = engine.finish();
   report.total_pairs = flat.size();
@@ -485,7 +227,7 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
   }
   if (pair_count == 0) return report;
 
-  BatchEngine engine(config_, host_cost_);
+  ExecEngine engine(config_, host_cost_);
 
   // Broadcast the packed dataset once (§5.3).
   std::vector<std::string_view> views(seqs.begin(), seqs.end());
@@ -495,12 +237,11 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
     prep_seconds += static_cast<double>(s.size()) * host_cost_.per_base_seconds;
   }
   engine.charge_prep(prep_seconds);
-  engine.charge_global_transfer(
-      engine.system().broadcast_all(pool.bytes(), kBroadcastPoolOffset));
+  engine.set_broadcast(pool.bytes(), kBroadcastPoolOffset);
 
   // Static split of the quadratic pair list over all DPUs; one launch per
   // rank (§5.3's "simple static assignment").
-  const int total_dpus = engine.system().nr_dpus();
+  const int total_dpus = config_.nr_ranks * upmem::kDpusPerRank;
   const auto ranges = static_split(pair_count, total_dpus);
 
   auto pair_of_linear = [&](std::uint64_t linear) {
@@ -514,7 +255,8 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
     return std::make_pair(i, j);
   };
 
-  auto build_batch = [&](int r) -> PreparedBatch {
+  auto build_batch = [&](std::size_t batch_index) -> PreparedBatch {
+    const int r = static_cast<int>(batch_index);
     PreparedBatch prepared;
     prepared.plans.resize(upmem::kDpusPerRank);
     std::uint64_t max_load = 0;
@@ -547,15 +289,7 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
     return prepared;
   };
 
-  Prefetch<PreparedBatch> ahead;
-  ahead.stage([&build_batch] { return build_batch(0); });
-  for (int r = 0; r < config_.nr_ranks; ++r) {
-    PreparedBatch prepared = ahead.take();
-    if (r + 1 < config_.nr_ranks) {
-      ahead.stage([&build_batch, r] { return build_batch(r + 1); });
-    }
-    engine.run_batch(prepared.plans, 0.0, prepared.imbalance, out);
-  }
+  engine.run(static_cast<std::size_t>(config_.nr_ranks), build_batch, out);
 
   report = engine.finish();
   report.total_pairs = pair_count;

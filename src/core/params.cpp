@@ -18,4 +18,8 @@ const char* sim_path_name(SimPath path) {
   return "?";
 }
 
+const char* engine_mode_name(EngineMode mode) {
+  return mode == EngineMode::kPipelined ? "pipelined" : "legacy-barrier";
+}
+
 }  // namespace pimnw::core

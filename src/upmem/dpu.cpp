@@ -19,6 +19,12 @@ void DpuContext::mram_write(std::uint64_t wram_addr, std::uint64_t mram_addr,
 DpuCostModel::Summary Dpu::launch(DpuProgram& program, int pools,
                                   int tasklets_per_pool) {
   Wram wram;
+  return launch(program, pools, tasklets_per_pool, wram);
+}
+
+DpuCostModel::Summary Dpu::launch(DpuProgram& program, int pools,
+                                  int tasklets_per_pool, Wram& wram) {
+  wram.reset();
   DpuCostModel cost(pools, tasklets_per_pool);
   DpuContext ctx{mram_, wram, cost};
   program.run(ctx);

@@ -49,6 +49,13 @@ class Dpu {
   DpuCostModel::Summary launch(DpuProgram& program, int pools,
                                int tasklets_per_pool);
 
+  /// As above, but reuse a caller-owned WRAM scratchpad instead of
+  /// constructing one per launch (the execution engine keeps one per worker
+  /// arena). The scratchpad is reset() first — zeroed and emptied — so the
+  /// program observes exactly the fresh-WRAM state of the other overload.
+  DpuCostModel::Summary launch(DpuProgram& program, int pools,
+                               int tasklets_per_pool, Wram& wram);
+
   const DpuCostModel::Summary& last_summary() const { return last_summary_; }
 
  private:

@@ -7,31 +7,53 @@
 
 namespace pimnw::upmem {
 
-void Mram::ensure(std::uint64_t end) const {
-  if (end > data_.size()) {
-    // Grow in 1 MB steps to amortise reallocation without ballooning small
-    // simulations.
-    const std::uint64_t step = 1ull << 20;
-    data_.resize(std::min(capacity_, ((end + step - 1) / step) * step), 0);
+std::uint8_t* Mram::chunk_for_write(std::uint64_t index) {
+  if (index >= chunks_.size()) chunks_.resize(index + 1);
+  std::unique_ptr<std::uint8_t[]>& chunk = chunks_[index];
+  if (chunk == nullptr) {
+    chunk = std::make_unique<std::uint8_t[]>(kChunkBytes);  // zero-filled
+    ++materialised_;
   }
+  return chunk.get();
 }
 
 void Mram::write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
   PIMNW_CHECK_MSG(addr + bytes.size() <= capacity_,
                   "MRAM write out of bank: addr=" << addr << " size="
                                                   << bytes.size());
-  if (bytes.empty()) return;
-  ensure(addr + bytes.size());
-  std::memcpy(data_.data() + addr, bytes.data(), bytes.size());
+  const std::uint8_t* src = bytes.data();
+  std::uint64_t left = bytes.size();
+  while (left > 0) {
+    const std::uint64_t off = addr % kChunkBytes;
+    const std::uint64_t n = std::min(left, kChunkBytes - off);
+    std::memcpy(chunk_for_write(addr / kChunkBytes) + off, src, n);
+    addr += n;
+    src += n;
+    left -= n;
+  }
 }
 
 void Mram::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
   PIMNW_CHECK_MSG(addr + out.size() <= capacity_,
                   "MRAM read out of bank: addr=" << addr << " size="
                                                  << out.size());
-  if (out.empty()) return;
-  ensure(addr + out.size());
-  std::memcpy(out.data(), data_.data() + addr, out.size());
+  std::uint8_t* dst = out.data();
+  std::uint64_t left = out.size();
+  while (left > 0) {
+    const std::uint64_t index = addr / kChunkBytes;
+    const std::uint64_t off = addr % kChunkBytes;
+    const std::uint64_t n = std::min(left, kChunkBytes - off);
+    const std::uint8_t* chunk =
+        index < chunks_.size() ? chunks_[index].get() : nullptr;
+    if (chunk != nullptr) {
+      std::memcpy(dst, chunk + off, n);
+    } else {
+      std::memset(dst, 0, n);
+    }
+    addr += n;
+    dst += n;
+    left -= n;
+  }
 }
 
 void Mram::check_dma(std::uint64_t addr, std::uint64_t bytes) const {

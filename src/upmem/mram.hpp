@@ -1,13 +1,18 @@
 // Simulated 64 MB MRAM bank.
 //
-// Storage grows on demand (a full 40-rank system would otherwise pin 160 GB)
-// but every access is bounds-checked against the architectural 64 MB, and
-// DMA-shaped accesses additionally enforce the engine's size/alignment rules.
-// The host-side SDK facade and the DPU-side DMA both funnel through this
-// class, so an out-of-bank address is caught identically on either side.
+// Storage is chunk-sparse: only 64 KB chunks that have actually been written
+// are materialised, so a write at a high offset (e.g. the 32 MB broadcast
+// pool base) does not zero-fill everything below it. A full 40-rank system
+// would otherwise pin 160 GB; with sparse chunks the resident set tracks the
+// bytes the simulation really touches. Every access is bounds-checked
+// against the architectural 64 MB, and DMA-shaped accesses additionally
+// enforce the engine's size/alignment rules. The host-side SDK facade and
+// the DPU-side DMA both funnel through this class, so an out-of-bank
+// address is caught identically on either side.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,11 +26,12 @@ class Mram {
 
   std::uint64_t capacity() const { return capacity_; }
 
-  /// Bytes actually materialised by the simulation (high-water mark).
-  std::uint64_t footprint() const { return data_.size(); }
+  /// Bytes actually materialised by the simulation (chunk granularity).
+  std::uint64_t footprint() const { return materialised_ * kChunkBytes; }
 
   /// Raw byte copy in/out (host transfers — no DMA shape constraints, the
-  /// host accesses MRAM through the DDR bus).
+  /// host accesses MRAM through the DDR bus). Reads of never-written chunks
+  /// yield zeros without materialising them.
   void write(std::uint64_t addr, std::span<const std::uint8_t> bytes);
   void read(std::uint64_t addr, std::span<std::uint8_t> out) const;
 
@@ -36,13 +42,19 @@ class Mram {
   void check_dma(std::uint64_t addr, std::uint64_t bytes) const;
 
   /// Zero the bank (between unrelated launches in tests).
-  void clear() { data_.clear(); }
+  void clear() {
+    chunks_.clear();
+    materialised_ = 0;
+  }
 
  private:
-  void ensure(std::uint64_t end) const;
+  static constexpr std::uint64_t kChunkBytes = 64ull * 1024;
+
+  std::uint8_t* chunk_for_write(std::uint64_t index);
 
   std::uint64_t capacity_;
-  mutable std::vector<std::uint8_t> data_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  std::uint64_t materialised_ = 0;
 };
 
 }  // namespace pimnw::upmem

@@ -24,38 +24,46 @@ const Dpu& Rank::dpu(int index) const {
 
 Rank::LaunchStats Rank::launch(
     const std::function<std::unique_ptr<DpuProgram>(int)>& make_program,
-    int pools, int tasklets_per_pool) {
-  LaunchStats stats;
-  stats.fastest_dpu_seconds = -1.0;
-  double util_sum = 0.0;
-  double mram_sum = 0.0;
-
+    int pools, int tasklets_per_pool, ThreadPool* pool,
+    bool static_chunking) {
   // DPUs are independent by construction (each owns its bank), so the
   // simulation executes them on the host's worker threads; results and
   // modeled times are bit-identical to a serial run. Programs are created
   // up-front because make_program may not be thread-safe.
   std::array<std::unique_ptr<DpuProgram>, kDpusPerRank> programs;
+  std::array<bool, kDpusPerRank> ran{};
   for (int d = 0; d < kDpusPerRank; ++d) {
     programs[static_cast<std::size_t>(d)] = make_program(d);
+    ran[static_cast<std::size_t>(d)] =
+        programs[static_cast<std::size_t>(d)] != nullptr;
   }
   std::array<DpuCostModel::Summary, kDpusPerRank> summaries;
-  ThreadPool& pool = global_pool();
-  if (pool.size() > 1) {
-    pool.parallel_for(kDpusPerRank, [&](std::size_t d) {
-      if (!programs[d]) return;
-      summaries[d] =
-          dpus_[d].launch(*programs[d], pools, tasklets_per_pool);
-    });
-  } else {
-    for (std::size_t d = 0; d < kDpusPerRank; ++d) {
-      if (!programs[d]) continue;
-      summaries[d] =
-          dpus_[d].launch(*programs[d], pools, tasklets_per_pool);
+  ThreadPool& tp = pool != nullptr ? *pool : global_pool();
+  const auto body = [&](std::size_t d) {
+    if (!programs[d]) return;
+    summaries[d] = dpus_[d].launch(*programs[d], pools, tasklets_per_pool);
+  };
+  if (tp.size() > 1) {
+    if (static_chunking) {
+      tp.parallel_for_static(kDpusPerRank, body);
+    } else {
+      tp.parallel_for(kDpusPerRank, body);
     }
+  } else {
+    for (std::size_t d = 0; d < kDpusPerRank; ++d) body(d);
   }
+  return aggregate(summaries, ran);
+}
 
+Rank::LaunchStats Rank::aggregate(
+    const std::array<DpuCostModel::Summary, kDpusPerRank>& summaries,
+    const std::array<bool, kDpusPerRank>& ran) {
+  LaunchStats stats;
+  stats.fastest_dpu_seconds = -1.0;
+  double util_sum = 0.0;
+  double mram_sum = 0.0;
   for (int d = 0; d < kDpusPerRank; ++d) {
-    if (!programs[static_cast<std::size_t>(d)]) continue;
+    if (!ran[static_cast<std::size_t>(d)]) continue;
     const DpuCostModel::Summary& summary =
         summaries[static_cast<std::size_t>(d)];
     stats.max_cycles = std::max(stats.max_cycles, summary.cycles);

@@ -9,6 +9,10 @@
 
 #include "upmem/dpu.hpp"
 
+namespace pimnw {
+class ThreadPool;
+}
+
 namespace pimnw::upmem {
 
 class Rank {
@@ -35,10 +39,23 @@ class Rank {
   /// Launch one kernel instance per DPU. `make_program(dpu_index)` may
   /// return nullptr to leave a DPU idle. Execution order across DPUs is
   /// unspecified (they are independent by construction); stats aggregate the
-  /// cost models exactly as the rank-level barrier would.
+  /// cost models exactly as the rank-level barrier would. `pool` selects the
+  /// worker pool (nullptr = global_pool()); `static_chunking` reproduces the
+  /// pre-work-stealing contiguous-chunk schedule (wall-clock only — results
+  /// are bit-identical either way; engine_test pins this).
   LaunchStats launch(
       const std::function<std::unique_ptr<DpuProgram>(int)>& make_program,
-      int pools, int tasklets_per_pool);
+      int pools, int tasklets_per_pool, ThreadPool* pool = nullptr,
+      bool static_chunking = false);
+
+  /// Fold per-DPU cost summaries into LaunchStats in fixed DPU order,
+  /// exactly as launch() does behind its barrier. `ran[d]` marks DPUs that
+  /// executed a program; their summaries are the only ones read. Extracted
+  /// so the execution engine's in-order commit stage aggregates out-of-order
+  /// DPU results bit-identically to the barrier schedule.
+  static LaunchStats aggregate(
+      const std::array<DpuCostModel::Summary, kDpusPerRank>& summaries,
+      const std::array<bool, kDpusPerRank>& ran);
 
  private:
   std::array<Dpu, kDpusPerRank> dpus_;

@@ -40,6 +40,21 @@ class PimSystem {
     return static_cast<double>(bytes) / kHostXferBytesPerSec;
   }
 
+  /// Modeled cost of a transfer totalling `bytes`, without moving anything —
+  /// the execution engine simulates DPUs on per-worker scratch banks and
+  /// charges transfers through this (identical arithmetic to copy_to_rank /
+  /// copy_from_rank on the same byte count).
+  static TransferStats transfer_stats(std::uint64_t bytes) {
+    return {bytes, host_transfer_seconds(bytes)};
+  }
+
+  /// Modeled cost of broadcasting a `buffer_bytes` buffer to `nr_dpus` DPUs
+  /// (each bank is written individually on the wire, as broadcast_all does).
+  static TransferStats broadcast_stats(std::uint64_t buffer_bytes,
+                                       int nr_dpus) {
+    return transfer_stats(buffer_bytes * static_cast<std::uint64_t>(nr_dpus));
+  }
+
   /// Write one buffer per DPU of rank `r` at `mram_offset` (buffers may have
   /// different sizes; empty buffers skip their DPU).
   TransferStats copy_to_rank(int r,

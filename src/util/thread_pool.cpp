@@ -1,16 +1,32 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#include "util/logging.hpp"
 
 namespace pimnw {
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index in
+// that pool. Plain thread_locals: each worker thread writes its own pair
+// once at startup.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local int tl_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  deques_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<detail::TaskDeque>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -23,25 +39,148 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+int ThreadPool::worker_index() const {
+  return tl_pool == this ? tl_index : -1;
+}
+
+void ThreadPool::enqueue(Task* task) {
+  const int index = worker_index();
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  if (index >= 0) {
+    deques_[static_cast<std::size_t>(index)]->push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector_.push_back(task);
+  }
+  // Wake one sleeper if there might be one. The sleeper's wait predicate
+  // reads pending_ under mutex_, and sleepers_ is incremented under mutex_
+  // before the predicate is evaluated, so either the sleeper sees our
+  // pending_ increment or we see its sleepers_ increment — never a lost
+  // wakeup. Notifying under the lock closes the remaining window.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_one();
+  }
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  enqueue(new Task(std::move(fn)));
+}
+
+ThreadPool::Task* ThreadPool::acquire(int index) {
+  const std::size_t n = deques_.size();
+  Task* task = nullptr;
+  if (index >= 0) {
+    task = deques_[static_cast<std::size_t>(index)]->pop();
+  }
+  if (task == nullptr) {
+    // Steal round-robin starting after our own slot (outside threads start
+    // at slot 0). FIFO steals take the oldest — for LPT-descending job
+    // sequences that is the heaviest still queued, the best steal.
+    const std::size_t start = index >= 0 ? static_cast<std::size_t>(index) : 0;
+    for (std::size_t k = 1; k <= n && task == nullptr; ++k) {
+      task = deques_[(start + k) % n]->steal();
     }
-    task();
+  }
+  if (task == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!injector_.empty()) {
+      task = injector_.front();
+      injector_.pop_front();
+    }
+  }
+  if (task != nullptr) {
+    pending_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  return task;
+}
+
+bool ThreadPool::run_one(int index) {
+  Task* task = acquire(index);
+  if (task == nullptr) return false;
+  try {
+    (*task)();
+  } catch (const std::exception& e) {
+    // Only post()ed tasks can get here (submit wraps everything in a
+    // packaged_task, parallel_for catches per iteration). post() promises
+    // not to throw; surface the broken promise without killing the worker.
+    PIMNW_WARN("task posted to ThreadPool threw: " << e.what());
+  } catch (...) {
+    PIMNW_WARN("task posted to ThreadPool threw a non-std exception");
+  }
+  delete task;
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_index = static_cast<int>(index);
+  while (true) {
+    if (run_one(static_cast<int>(index))) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) {
+      if (pending_.load(std::memory_order_seq_cst) == 0) return;
+      continue;  // drain: tasks are still queued somewhere
+    }
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    if (stop_ && pending_.load(std::memory_order_seq_cst) == 0) return;
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  struct Sweep {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto sweep = std::make_shared<Sweep>();
+
+  // One claiming loop, shared by the caller and the helper tasks. `fn` is
+  // only captured by reference in the caller's own loop; helpers capture a
+  // copy-free pointer since parallel_for blocks until done == n.
+  const auto* fn_ptr = &fn;
+  auto drain = [sweep, fn_ptr, n] {
+    for (;;) {
+      const std::size_t i =
+          sweep->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn_ptr)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sweep->error_mutex);
+        if (!sweep->error) sweep->error = std::current_exception();
+      }
+      sweep->done.fetch_add(1, std::memory_order_seq_cst);
+    }
+  };
+
+  const std::size_t helpers = std::min(size(), n);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    post(drain);
+  }
+  drain();  // the caller participates
+
+  // Iterations may still be running on (or queued for) workers. Help
+  // execute arbitrary pool tasks while waiting: if this parallel_for was
+  // itself issued from inside a pool task, refusing to help could leave a
+  // fully-blocked pool (every worker waiting on someone else's helpers).
+  const int index = worker_index();
+  while (sweep->done.load(std::memory_order_seq_cst) < n) {
+    if (!run_one(index)) std::this_thread::yield();
+  }
+  if (sweep->error) std::rethrow_exception(sweep->error);
+}
+
+void ThreadPool::parallel_for_static(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t per = (n + chunks - 1) / chunks;

@@ -1,21 +1,156 @@
-// Minimal work-stealing-free thread pool with futures and a parallel_for
-// helper. Used by (a) the host orchestrator to run simulated ranks/DPUs in
-// parallel and (b) the CPU baseline batch aligner.
+// Work-stealing thread pool with futures and parallel_for helpers. Used by
+// (a) the host execution engine to run simulated DPU jobs from multiple
+// in-flight rank-batches, (b) upmem::Rank::launch, and (c) the CPU baseline
+// batch aligner.
+//
+// Scheduling: each worker owns a Chase–Lev deque. Tasks submitted from a
+// worker go to its own deque (LIFO for the owner, cheap and cache-warm);
+// tasks submitted from outside the pool go to a mutex-protected injector
+// queue. An idle worker pops its own deque, then steals the oldest task
+// (FIFO) from the other workers round-robin, then drains the injector, then
+// sleeps. Stealing is what keeps the tail of an LPT-sorted batch from
+// pinning the whole pool behind one worker (ISSUE 2; cf. the host-side
+// orchestration bottlenecks in arXiv:2208.01243).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace pimnw {
 
-/// Fixed-size thread pool. Tasks are std::function<void()>; submit() returns a
-/// future. The pool joins its threads on destruction after draining the queue.
+namespace detail {
+
+/// Chase–Lev work-stealing deque of heap-allocated task nodes. Single owner
+/// pushes/pops at the bottom; any number of thieves steal at the top. The
+/// implementation uses seq_cst operations on top/bottom instead of the
+/// classic relaxed-plus-fences formulation: the tasks scheduled through it
+/// (whole DPU simulations, batch builds) are orders of magnitude more
+/// expensive than the ordering cost, and ThreadSanitizer reasons precisely
+/// about seq_cst while standalone fences are a known blind spot.
+class TaskDeque {
+ public:
+  using Task = std::function<void()>;
+
+  TaskDeque() : buffer_(new Ring(kInitialCapacity)) {}
+
+  ~TaskDeque() {
+    // Drain anything left (only reachable at pool destruction, after all
+    // workers joined — no concurrency here).
+    Task* t;
+    while ((t = pop()) != nullptr) delete t;
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Ring* r : retired_) delete r;
+  }
+
+  TaskDeque(const TaskDeque&) = delete;
+  TaskDeque& operator=(const TaskDeque&) = delete;
+
+  /// Owner only.
+  void push(Task* task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= ring->capacity) {
+      ring = grow(ring, t, b);
+    }
+    ring->slot(b).store(task, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. Returns nullptr when empty.
+  Task* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    Task* task = nullptr;
+    if (t <= b) {
+      task = ring->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst)) {
+          task = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return task;
+  }
+
+  /// Any thread. Returns nullptr when empty or when it lost a race (the
+  /// caller treats both as "try elsewhere").
+  Task* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* ring = buffer_.load(std::memory_order_acquire);
+    Task* task = ring->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return nullptr;  // the slot value may be stale — never dereferenced
+    }
+    return task;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_seq_cst) >=
+           bottom_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr std::int64_t kInitialCapacity = 256;
+
+  struct Ring {
+    explicit Ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(new std::atomic<Task*>[static_cast<std::size_t>(cap)]) {}
+    std::atomic<Task*>& slot(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i & mask)];
+    }
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    // The old ring stays alive until destruction: a lagging thief may still
+    // read (never dereference without a successful CAS) its slots.
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> buffer_;
+  std::vector<Ring*> retired_;  // owner only
+};
+
+}  // namespace detail
+
+/// Fixed-size work-stealing thread pool. Tasks are std::function<void()>;
+/// submit() returns a future, post() is fire-and-forget. The pool joins its
+/// threads on destruction after draining all queues.
 class ThreadPool {
  public:
   /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
@@ -27,6 +162,11 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Index of the calling thread within this pool, or -1 for outside
+  /// threads. Lets per-worker state (scratch arenas) be indexed without
+  /// locks: a worker is one OS thread, so its slot is never contended.
+  int worker_index() const;
+
   /// Enqueue a callable; returns a future for its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -34,26 +174,57 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue(new detail::TaskDeque::Task([task]() { (*task)(); }));
     return fut;
   }
 
+  /// Fire-and-forget enqueue (no future allocation). The callable must not
+  /// throw; escaped exceptions are logged and swallowed by the worker.
+  void post(std::function<void()> fn);
+
   /// Run fn(i) for i in [0, n), blocking until all iterations complete.
-  /// Iterations are distributed in contiguous chunks.
+  /// Iterations are claimed one at a time from a shared atomic counter
+  /// (dynamic scheduling), so a descending-cost sequence — e.g. LPT bins —
+  /// spreads across workers instead of piling onto the first chunk. The
+  /// caller participates and, once the counter is drained, helps execute
+  /// other pool tasks while waiting, which makes nested parallel_for calls
+  /// from inside pool tasks deadlock-free. The first exception thrown by an
+  /// iteration is rethrown here after all iterations finish.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
- private:
-  void worker_loop();
+  /// Run one queued task on the calling thread (own deque, then stealing,
+  /// then the injector). Returns false when nothing was immediately
+  /// runnable. Lets an orchestrator that must block on pool work help
+  /// execute it instead of parking a core.
+  bool help_one() { return run_one(worker_index()); }
 
+  /// The pre-work-stealing behaviour: contiguous chunks of ~n/(4·size())
+  /// iterations submitted as tasks, caller blocking on their futures. Kept
+  /// as the serial-reference scheduling for determinism tests and for the
+  /// legacy barrier engine. Must not be called from inside a pool task (the
+  /// caller does not help, so it can deadlock a saturated pool).
+  void parallel_for_static(std::size_t n,
+                           const std::function<void(std::size_t)>& fn);
+
+ private:
+  using Task = detail::TaskDeque::Task;
+
+  void worker_loop(std::size_t index);
+  void enqueue(Task* task);
+  /// Pop/steal/drain one task for thread `index` (-1 = outside thread).
+  /// Decrements pending_ on success.
+  Task* acquire(int index);
+  /// Acquire and run one task; false when nothing was runnable.
+  bool run_one(int index);
+
+  std::vector<std::unique_ptr<detail::TaskDeque>> deques_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task*> injector_;  // guarded by mutex_
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<std::int64_t> pending_{0};  // queued, not yet acquired
+  std::atomic<int> sleepers_{0};
+  bool stop_ = false;  // guarded by mutex_
 };
 
 /// Process-wide default pool (lazily constructed). Benches and the simulator
@@ -70,14 +241,24 @@ ThreadPool& global_pool();
 template <typename T>
 class Prefetch {
  public:
+  /// `pool == nullptr` stages on global_pool().
+  explicit Prefetch(ThreadPool* pool = nullptr) : pool_(pool) {}
+
   template <typename F>
   void stage(F&& fn) {
-    next_ = global_pool().submit(std::forward<F>(fn));
+    next_ = (pool_ != nullptr ? *pool_ : global_pool())
+                .submit(std::forward<F>(fn));
     staged_ = true;
   }
 
   /// Blocks for the staged item; rethrows anything the builder threw.
+  /// Calling take() with nothing staged is a usage error (the underlying
+  /// future would be invalid) and fails a PIMNW_CHECK instead of surfacing
+  /// an opaque std::future_error.
   T take() {
+    PIMNW_CHECK_MSG(staged_,
+                    "Prefetch::take() with nothing staged — call stage() "
+                    "first (each take() consumes one stage())");
     staged_ = false;
     return next_.get();
   }
@@ -85,6 +266,7 @@ class Prefetch {
   bool staged() const { return staged_; }
 
  private:
+  ThreadPool* pool_;
   std::future<T> next_;
   bool staged_ = false;
 };

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace pimnw {
 namespace {
 
@@ -78,6 +80,146 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // destructor must wait for the queued work
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, PostedTasksAllRun) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.post([&count, &done] {
+      count.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 200) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WorkerIndexDistinguishesWorkersFromOutside) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_index(), -1);  // the test thread is not a worker
+  auto idx0 = pool.submit([&pool] { return pool.worker_index(); }).get();
+  EXPECT_GE(idx0, 0);
+  EXPECT_LT(idx0, 2);
+  // A different pool's workers are outsiders to this one.
+  ThreadPool other(1);
+  auto cross = other.submit([&pool] { return pool.worker_index(); }).get();
+  EXPECT_EQ(cross, -1);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicSpreadsDescendingCosts) {
+  // LPT-style descending costs: with dynamic claiming, no single worker can
+  // be handed the whole expensive prefix as one contiguous chunk. We can't
+  // observe the schedule directly, but we can verify every index runs once
+  // under heavy skew and from many concurrent iterations.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    // index 0 is ~1000x the work of the tail
+    volatile std::uint64_t sink = 0;
+    const std::size_t spins = i == 0 ? 100000 : 100;
+    for (std::size_t s = 0; s < spins; ++s) sink += s;
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstError) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i % 7 == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A parallel_for issued from inside a pool task must complete even when
+  // every worker is busy with the outer loop — the caller-helps design.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForStaticCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_static(hits.size(),
+                           [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForStaticZeroAndOne) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_static(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  int value = 0;
+  pool.parallel_for_static(1, [&](std::size_t i) {
+    value = static_cast<int>(i) + 7;
+  });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPoolTest, HelpOneRunsAQueuedTask) {
+  // A pool whose single worker is blocked still makes progress when the
+  // outside thread helps.
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.post([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the worker holds the blocker, so help_one() below cannot
+  // pick it up itself and spin on `release` forever.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  pool.post([&ran] { ran.fetch_add(1); });
+  while (!pool.help_one()) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);
+  release.store(true);
+}
+
+TEST(PrefetchTest, StageTakeRoundtrip) {
+  Prefetch<int> ahead;
+  ahead.stage([] { return 42; });
+  EXPECT_TRUE(ahead.staged());
+  EXPECT_EQ(ahead.take(), 42);
+  EXPECT_FALSE(ahead.staged());
+  // Re-staging after a take works (the steady-state of the batch loops).
+  ahead.stage([] { return 7; });
+  EXPECT_EQ(ahead.take(), 7);
+}
+
+TEST(PrefetchTest, TakeWithoutStageFailsCheck) {
+  Prefetch<int> ahead;
+  EXPECT_THROW(ahead.take(), CheckError);  // not an opaque std::future_error
+}
+
+TEST(PrefetchTest, DoubleTakeFailsCheck) {
+  Prefetch<int> ahead;
+  ahead.stage([] { return 1; });
+  EXPECT_EQ(ahead.take(), 1);
+  EXPECT_THROW(ahead.take(), CheckError);
+}
+
+TEST(PrefetchTest, TakeRethrowsBuilderError) {
+  Prefetch<int> ahead;
+  ahead.stage([]() -> int { throw std::runtime_error("builder failed"); });
+  EXPECT_THROW(ahead.take(), std::runtime_error);
+}
+
+TEST(PrefetchTest, UsesInjectedPool) {
+  ThreadPool pool(1);
+  Prefetch<int> ahead(&pool);
+  ahead.stage([&pool] { return pool.worker_index(); });
+  EXPECT_EQ(ahead.take(), 0);  // ran on the injected pool's only worker
 }
 
 }  // namespace

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "core/host.hpp"
+#include "core/stats.hpp"
 #include "data/synthetic.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -94,6 +96,43 @@ WorkloadResult run_workload(const std::string& name,
   return result;
 }
 
+/// One instrumented pipelined run (outside the timed reps): records a
+/// Chrome/Perfetto trace and a StatsCollector report. Tracing never changes
+/// the modeled outputs (engine_test pins bit-identity), but it does add
+/// wall-clock overhead, so the timed loop above runs untraced.
+void run_traced(const data::SyntheticConfig& data_config,
+                std::size_t batch_pairs, ThreadPool& workers,
+                const std::string& trace_path, const std::string& stats_path) {
+  const data::PairDataset dataset = data::generate_synthetic(data_config);
+  std::vector<core::PairInput> pairs;
+  pairs.reserve(dataset.pairs.size());
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+
+  core::PimAlignerConfig config;
+  config.nr_ranks = 2;
+  config.batch_pairs = batch_pairs;
+  config.engine = core::EngineMode::kPipelined;
+  config.workers = &workers;
+  core::StatsCollector stats;
+  config.stats = &stats;
+
+  trace::clear();
+  trace::set_enabled(true);
+  trace::set_thread_name("main");
+  core::PimAligner aligner(config);
+  std::vector<core::PairOutput> out;
+  const core::RunReport report = aligner.align_pairs(pairs, &out);
+  trace::set_enabled(false);
+
+  if (!trace_path.empty() && trace::write_json_file(trace_path)) {
+    std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!stats_path.empty() && stats.write_json_file(stats_path, report)) {
+    std::printf("wrote %s\n", stats_path.c_str());
+  }
+}
+
 void write_engine(std::ofstream& out, const char* key, const EngineTiming& t) {
   out << "    \"" << key << "\": { \"seconds\": " << t.seconds
       << ", \"pairs_per_second\": " << t.pairs_per_second
@@ -114,6 +153,14 @@ int main(int argc, char** argv) {
   cli.flag("reps", std::int64_t{3}, "repetitions (best-of)");
   cli.flag("seed", std::int64_t{7}, "dataset seed");
   cli.flag("out", std::string("BENCH_host.json"), "output JSON path");
+  cli.flag("trace", std::string(""),
+           "also run one instrumented pipelined S=1000 pass and write a "
+           "Chrome/Perfetto trace (host pipeline + modeled PiM timeline) to "
+           "this path");
+  cli.flag("stats", std::string(""),
+           "write the instrumented pass's per-run stats report JSON "
+           "(pairs/s, GCUPS, per-DPU cycle distribution, steal/prefetch "
+           "counters) to this path; implies the --trace pass");
   cli.parse(argc, argv);
 
   auto threads = static_cast<std::size_t>(cli.get_int("threads"));
@@ -155,5 +202,11 @@ int main(int argc, char** argv) {
   }
   out << "}\n";
   std::printf("wrote %s\n", path.c_str());
+
+  const std::string trace_path = cli.get_string("trace");
+  const std::string stats_path = cli.get_string("stats");
+  if (!trace_path.empty() || !stats_path.empty()) {
+    run_traced(s1000, 64, workers, trace_path, stats_path);
+  }
   return 0;
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Build + test the three correctness presets in one command:
+#
+#   default  RelWithDebInfo, the full suite (tier-1 gate)
+#   asan     Debug + ASan/UBSan, the full suite
+#   tsan     RelWithDebInfo + TSan, the concurrency-sensitive subset
+#            (thread pool, prefetch, engine determinism, trace/stats)
+#
+# Each preset also runs the "trace" ctest label explicitly, so the
+# observability layer (util/trace, core/stats) is exercised under every
+# sanitizer even if the preset's default filter would skip part of it.
+#
+# Usage: scripts/verify.sh [preset ...]   (default: default asan tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(default asan tsan)
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== [$preset] configure"
+  cmake --preset "$preset" >/dev/null
+  echo "=== [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] ctest"
+  ctest --preset "$preset" -j "$JOBS" --output-on-failure
+  echo "=== [$preset] ctest -L trace"
+  ctest --test-dir "build$([ "$preset" = default ] || echo "-$preset")" \
+        -L trace -j "$JOBS" --output-on-failure
+done
+
+echo "verify.sh: all presets green (${PRESETS[*]})"

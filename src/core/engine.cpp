@@ -7,6 +7,7 @@
 #include "align/result.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace pimnw::core {
 
@@ -88,6 +89,7 @@ struct ExecEngine::Slot {
   PreparedBatch prepared;
   std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries;
   std::array<bool, upmem::kDpusPerRank> ran{};
+  std::size_t index = 0;  // batch number (trace span labels)
   std::atomic<int> jobs_left{0};
   bool done = true;
   std::exception_ptr error;
@@ -99,8 +101,13 @@ ExecEngine::ExecEngine(const PimAlignerConfig& config,
       host_cost_(host_cost),
       pool_(config.workers != nullptr ? config.workers : &global_pool()),
       system_(config.nr_ranks),
+      stats_(config.stats != nullptr ? config.stats : &own_stats_),
       rank_free_(static_cast<std::size_t>(config.nr_ranks), 0.0),
       rank_exec_(static_cast<std::size_t>(config.nr_ranks), 0.0) {
+  const ThreadPool::Stats baseline = pool_->stats();
+  pool_base_executed_ = baseline.executed;
+  pool_base_stolen_ = baseline.stolen;
+  pool_base_injected_ = baseline.injected;
   if (config_.engine == EngineMode::kPipelined) {
     // Arena 0 serves outside threads (the committing caller when it helps
     // execute jobs); arenas 1..size serve the pool workers.
@@ -137,6 +144,7 @@ void ExecEngine::set_broadcast(std::span<const std::uint8_t> bytes,
   report_.transfer_seconds += stats.seconds;
   for (double& t : rank_free_) t = std::max(t, stats.seconds);
   makespan_ = std::max(makespan_, stats.seconds);
+  stats_->on_broadcast(stats.seconds, stats.bytes, config_.nr_ranks);
 }
 
 void ExecEngine::run(std::size_t n_batches,
@@ -161,7 +169,18 @@ void ExecEngine::run(std::size_t n_batches,
       schedule(*slots_[scheduled % window], scheduled, build, out);
     }
     Slot& slot = *slots_[b % window];
-    wait_for(slot);
+    {
+      // Look-ahead accounting (observability only): did the pipeline have
+      // this batch finished before the commit stage asked for it?
+      bool ready;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ready = slot.done;
+      }
+      stats_->note_prefetch(ready ? 1 : 0, ready ? 0 : 1);
+      PIMNW_TRACE_SPAN("wait b" + std::to_string(b));
+      wait_for(slot);
+    }
     std::exception_ptr error;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -185,6 +204,7 @@ void ExecEngine::schedule(
     std::vector<PairOutput>* out) {
   slot.prepared = PreparedBatch{};
   slot.ran.fill(false);
+  slot.index = index;
   slot.jobs_left.store(1, std::memory_order_relaxed);  // the build sentinel
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -193,7 +213,10 @@ void ExecEngine::schedule(
   }
   pool_->post([this, &slot, &build, index, out] {
     try {
-      slot.prepared = build(index);
+      {
+        PIMNW_TRACE_SPAN("build b" + std::to_string(index));
+        slot.prepared = build(index);
+      }
       PIMNW_CHECK_MSG(slot.prepared.plans.size() ==
                           static_cast<std::size_t>(upmem::kDpusPerRank),
                       "a PreparedBatch must carry one plan per DPU");
@@ -226,6 +249,8 @@ void ExecEngine::schedule(
 }
 
 void ExecEngine::exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out) {
+  PIMNW_TRACE_SPAN("exec b" + std::to_string(slot.index) + " d" +
+                   std::to_string(dpu));
   DpuPlan& plan = slot.prepared.plans[static_cast<std::size_t>(dpu)];
   const std::size_t ai = static_cast<std::size_t>(pool_->worker_index() + 1);
   Arena& arena = *arenas_[ai];
@@ -279,6 +304,7 @@ void ExecEngine::wait_for(Slot& slot) {
 /// disjoint and order-free.)
 void ExecEngine::commit(Slot& slot, std::vector<PairOutput>* out) {
   (void)out;
+  PIMNW_TRACE_SPAN("commit b" + std::to_string(slot.index));
   const std::vector<DpuPlan>& plans = slot.prepared.plans;
   double prep_seconds = slot.prepared.extra_prep_seconds;
   std::uint64_t batch_pairs = 0;
@@ -335,6 +361,10 @@ void ExecEngine::commit(Slot& slot, std::vector<PairOutput>* out) {
   rank_free_[static_cast<std::size_t>(r)] = end;
   rank_exec_[static_cast<std::size_t>(r)] += launch_stats.seconds;
   makespan_ = std::max(makespan_, end);
+  stats_->add_cells(slot.prepared.total_workload);
+  stats_->on_launch(report_.batches, r, start, in_stats.seconds,
+                    host_cost_.per_launch_seconds, out_stats.seconds,
+                    slot.summaries, slot.ran, launch_stats);
   ++report_.batches;
   report_.total_pairs += batch_pairs;
 }
@@ -355,6 +385,7 @@ void ExecEngine::run_legacy(
     }
     legacy_run_batch(prepared, out);
   }
+  stats_->note_prefetch(ahead.hits(), ahead.misses());
 }
 
 /// The pre-engine BatchEngine::run_batch, verbatim: transfer into the next
@@ -401,6 +432,17 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
       },
       config_.pool.pools, config_.pool.tasklets_per_pool, pool_,
       /*static_chunking=*/true);
+
+  // Per-DPU summaries for the stats/trace observers (each launched DPU
+  // retains its last summary; read before the banks are reused).
+  std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries{};
+  std::array<bool, upmem::kDpusPerRank> ran{};
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    if (plans[static_cast<std::size_t>(d)].batch.pairs.empty()) continue;
+    ran[static_cast<std::size_t>(d)] = true;
+    summaries[static_cast<std::size_t>(d)] =
+        system_.rank(r).dpu(d).last_summary();
+  }
   util_sum_ += launch_stats.mean_pipeline_utilization;
   mram_sum_ += launch_stats.mean_mram_overhead;
   ++launches_;
@@ -429,6 +471,10 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
   rank_free_[static_cast<std::size_t>(r)] = end;
   rank_exec_[static_cast<std::size_t>(r)] += launch_stats.seconds;
   makespan_ = std::max(makespan_, end);
+  stats_->add_cells(prepared.total_workload);
+  stats_->on_launch(report_.batches, r, start, in_stats.seconds,
+                    host_cost_.per_launch_seconds, out_stats.seconds,
+                    summaries, ran, launch_stats);
   ++report_.batches;
   report_.total_pairs += batch_pairs;
 }
@@ -447,6 +493,13 @@ RunReport ExecEngine::finish() {
     report_.mean_pipeline_utilization = util_sum_ / launches_;
     report_.mean_mram_overhead = mram_sum_ / launches_;
   }
+  const ThreadPool::Stats pool_now = pool_->stats();
+  stats_->note_pool(pool_now.executed - pool_base_executed_,
+                    pool_now.stolen - pool_base_stolen_,
+                    pool_now.injected - pool_base_injected_);
+  pool_base_executed_ = pool_now.executed;
+  pool_base_stolen_ = pool_now.stolen;
+  pool_base_injected_ = pool_now.injected;
   return report_;
 }
 

@@ -43,6 +43,7 @@
 #include "core/dpu_kernel.hpp"
 #include "core/host.hpp"
 #include "core/mram_layout.hpp"
+#include "core/stats.hpp"
 #include "upmem/system.hpp"
 
 namespace pimnw {
@@ -77,6 +78,9 @@ struct PreparedBatch {
   double imbalance = 1.0;
   /// Host prep seconds to charge on top of the per-plan base/pair costs.
   double extra_prep_seconds = 0.0;
+  /// Banded DP cells of the batch (Σ pair_workload) — observability only
+  /// (GCUPS in core/stats.hpp); never enters the modeled arithmetic.
+  std::uint64_t total_workload = 0;
 };
 
 /// Sequence interner: dedups by data pointer so a read shared by many pairs
@@ -148,6 +152,10 @@ class ExecEngine {
 
   RunReport finish();
 
+  /// The statistics observer being fed: config.stats if the caller attached
+  /// one, else an engine-owned collector (so tracing works without one).
+  const StatsCollector& stats() const { return *stats_; }
+
  private:
   struct Arena;
   struct Slot;
@@ -168,6 +176,13 @@ class ExecEngine {
   const HostCost& host_cost_;
   ThreadPool* pool_;  // config_.workers or global_pool(); never null
   upmem::PimSystem system_;  // banks used by the legacy mode only
+
+  // Observability (read-only with respect to the modeled arithmetic).
+  StatsCollector own_stats_;
+  StatsCollector* stats_;  // config_.stats or &own_stats_; never null
+  std::uint64_t pool_base_executed_ = 0;
+  std::uint64_t pool_base_stolen_ = 0;
+  std::uint64_t pool_base_injected_ = 0;
 
   // Modeled-timeline state (identical to the pre-engine BatchEngine).
   RunReport report_;

@@ -9,6 +9,7 @@
 #include "core/mram_layout.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace pimnw::core {
 namespace {
@@ -92,6 +93,9 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
       finalize_plan(plan, interner, config_);
     }
     prepared.imbalance = assignment.imbalance();
+    for (std::uint64_t load : assignment.bin_load) {
+      prepared.total_workload += load;
+    }
     return prepared;
   };
 
@@ -192,6 +196,9 @@ RunReport PimAligner::align_sets(
       finalize_plan(plan, interner, config_);
     }
     prepared.imbalance = assignment.imbalance();
+    for (std::uint64_t load : assignment.bin_load) {
+      prepared.total_workload += load;
+    }
     return prepared;
   };
 
@@ -230,6 +237,7 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
   ExecEngine engine(config_, host_cost_);
 
   // Broadcast the packed dataset once (§5.3).
+  PIMNW_TRACE_SPAN(std::string("encode broadcast pool"));
   std::vector<std::string_view> views(seqs.begin(), seqs.end());
   const SeqPool pool = SeqPool::build(views);
   double prep_seconds = 0.0;
@@ -286,6 +294,7 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
           static_cast<double>(total_load) / upmem::kDpusPerRank;
       prepared.imbalance = static_cast<double>(max_load) / mean;
     }
+    prepared.total_workload = total_load;
     return prepared;
   };
 

@@ -22,6 +22,9 @@ std::uint64_t Assignment::min_nonempty_load() const {
 }
 
 double Assignment::imbalance() const {
+  // Mean over *non-empty* bins: with fewer items than bins the empty bins
+  // are not load-bearing, and dividing by all bins would report
+  // max/mean-over-mostly-zeros — an inflated, meaningless figure.
   std::uint64_t total = 0;
   int nonempty = 0;
   for (std::size_t b = 0; b < bins.size(); ++b) {
@@ -30,7 +33,7 @@ double Assignment::imbalance() const {
   }
   if (nonempty == 0 || total == 0) return 1.0;
   const double mean =
-      static_cast<double>(total) / static_cast<double>(bins.size());
+      static_cast<double>(total) / static_cast<double>(nonempty);
   return static_cast<double>(max_load()) / mean;
 }
 

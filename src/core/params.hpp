@@ -12,6 +12,8 @@ class ThreadPool;
 
 namespace pimnw::core {
 
+class StatsCollector;
+
 /// Which DPU kernel build to model (paper §5.5 / Table 7): the pure-C kernel
 /// or the one with the 26 hand-written assembly lines (cmpb4 4-byte SIMD
 /// compare + fused shift/jump) in the anti-diagonal update and traceback.
@@ -92,6 +94,10 @@ struct PimAlignerConfig {
   /// Worker pool for the engine and the simulated DPUs; nullptr means the
   /// process-wide global_pool(). Tests inject 1- and 2-thread pools here.
   ThreadPool* workers = nullptr;
+  /// Optional run-statistics observer (core/stats.hpp). The engine feeds it
+  /// from the sequenced commit stage; it never participates in the modeled
+  /// arithmetic, so attaching one cannot change any reported number.
+  StatsCollector* stats = nullptr;
   /// Re-check every DPU result on the host against the reference
   /// implementation (slow; used by tests and debugging).
   bool verify = false;

@@ -1,0 +1,170 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "core/host.hpp"
+#include "util/logging.hpp"
+#include "util/trace.hpp"
+
+namespace pimnw::core {
+namespace {
+
+constexpr double kSecondsToUs = 1e6;
+
+}  // namespace
+
+std::uint32_t StatsCollector::lane_base(int rank) {
+  return 1 + static_cast<std::uint32_t>(rank) *
+                 static_cast<std::uint32_t>(upmem::kDpusPerRank + 1);
+}
+
+void StatsCollector::name_rank_lanes(int rank) {
+  if (static_cast<std::size_t>(rank) >= rank_lanes_named_.size()) {
+    rank_lanes_named_.resize(static_cast<std::size_t>(rank) + 1, false);
+  }
+  if (rank_lanes_named_[static_cast<std::size_t>(rank)]) return;
+  rank_lanes_named_[static_cast<std::size_t>(rank)] = true;
+  const std::uint32_t base = lane_base(rank);
+  trace::set_modeled_lane_name(base, "rank " + std::to_string(rank));
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    trace::set_modeled_lane_name(
+        base + 1 + static_cast<std::uint32_t>(d),
+        "rank " + std::to_string(rank) + " dpu " + std::to_string(d));
+  }
+}
+
+void StatsCollector::on_launch(
+    std::uint64_t batch, int rank, double start, double in_seconds,
+    double overhead_seconds, double out_seconds,
+    const std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank>&
+        summaries,
+    const std::array<bool, upmem::kDpusPerRank>& ran,
+    const upmem::Rank::LaunchStats& agg) {
+  LaunchRecord record;
+  record.batch = batch;
+  record.rank = rank;
+  record.start_seconds = start;
+  record.exec_start_seconds = start + in_seconds + overhead_seconds;
+  record.exec_end_seconds = record.exec_start_seconds + agg.seconds;
+  record.end_seconds = record.exec_end_seconds + out_seconds;
+  record.max_cycles = agg.max_cycles;
+  record.active_dpus = agg.active_dpus;
+  for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+    if (!ran[static_cast<std::size_t>(d)]) continue;
+    const auto& summary = summaries[static_cast<std::size_t>(d)];
+    record.sum_dpu_cycles += summary.cycles;
+    cycles_min_ = std::min(cycles_min_, summary.cycles);
+    cycles_max_ = std::max(cycles_max_, summary.cycles);
+    cycles_sum_ += summary.cycles;
+    ++dpu_count_;
+  }
+  launches_.push_back(record);
+
+  if (trace::enabled()) {
+    name_rank_lanes(rank);
+    const std::uint32_t base = lane_base(rank);
+    const std::string b = "b" + std::to_string(batch);
+    if (in_seconds > 0) {
+      trace::modeled_span("xfer in " + b, base, start * kSecondsToUs,
+                          in_seconds * kSecondsToUs);
+    }
+    trace::modeled_span(
+        "launch " + b, base, (start + in_seconds) * kSecondsToUs,
+        (overhead_seconds + agg.seconds) * kSecondsToUs, agg.max_cycles);
+    if (out_seconds > 0) {
+      trace::modeled_span("xfer out " + b, base,
+                          record.exec_end_seconds * kSecondsToUs,
+                          out_seconds * kSecondsToUs);
+    }
+    for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+      if (!ran[static_cast<std::size_t>(d)]) continue;
+      const auto& summary = summaries[static_cast<std::size_t>(d)];
+      trace::modeled_span(b + " d" + std::to_string(d),
+                          base + 1 + static_cast<std::uint32_t>(d),
+                          record.exec_start_seconds * kSecondsToUs,
+                          summary.seconds * kSecondsToUs, summary.cycles);
+    }
+  }
+}
+
+void StatsCollector::on_broadcast(double seconds, std::uint64_t bytes,
+                                  int nr_ranks) {
+  if (!trace::enabled()) return;
+  for (int r = 0; r < nr_ranks; ++r) {
+    name_rank_lanes(r);
+    trace::modeled_span(
+        "broadcast " + std::to_string(bytes) + " B", lane_base(r), 0.0,
+        seconds * kSecondsToUs);
+  }
+}
+
+void StatsCollector::add_cells(std::uint64_t cells) { cells_ += cells; }
+
+void StatsCollector::note_prefetch(std::uint64_t hits, std::uint64_t misses) {
+  prefetch_hits_ += hits;
+  prefetch_misses_ += misses;
+}
+
+void StatsCollector::note_pool(std::uint64_t executed, std::uint64_t stolen,
+                               std::uint64_t injected) {
+  pool_executed_ += executed;
+  pool_stolen_ += stolen;
+  pool_injected_ += injected;
+}
+
+void StatsCollector::write_json(std::ostream& out,
+                                const RunReport& report) const {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  const double makespan = report.makespan_seconds;
+  const double pairs_per_second =
+      makespan > 0 ? static_cast<double>(report.total_pairs) / makespan : 0.0;
+  const double gcups =
+      makespan > 0 ? static_cast<double>(cells_) / makespan / 1e9 : 0.0;
+  out << "{\n";
+  out << "  \"total_pairs\": " << report.total_pairs << ",\n";
+  out << "  \"batches\": " << report.batches << ",\n";
+  out << "  \"launches\": " << launches_.size() << ",\n";
+  out << "  \"makespan_seconds\": " << makespan << ",\n";
+  out << "  \"pairs_per_second\": " << pairs_per_second << ",\n";
+  out << "  \"banded_cells\": " << cells_ << ",\n";
+  out << "  \"gcups\": " << gcups << ",\n";
+  out << "  \"host_prep_seconds\": " << report.host_prep_seconds << ",\n";
+  out << "  \"transfer_seconds\": " << report.transfer_seconds << ",\n";
+  out << "  \"host_overhead_fraction\": " << report.host_overhead_fraction
+      << ",\n";
+  out << "  \"load_imbalance\": " << report.load_imbalance << ",\n";
+  out << "  \"mean_pipeline_utilization\": "
+      << report.mean_pipeline_utilization << ",\n";
+  out << "  \"mean_mram_overhead\": " << report.mean_mram_overhead << ",\n";
+  out << "  \"dpu_launches\": " << dpu_count_ << ",\n";
+  out << "  \"dpu_cycles\": { \"min\": " << dpu_cycles_min()
+      << ", \"mean\": " << dpu_cycles_mean()
+      << ", \"max\": " << dpu_cycles_max() << " },\n";
+  out << "  \"pool\": { \"tasks_executed\": " << pool_executed_
+      << ", \"tasks_stolen\": " << pool_stolen_
+      << ", \"tasks_injected\": " << pool_injected_ << " },\n";
+  out << "  \"prefetch\": { \"hits\": " << prefetch_hits_
+      << ", \"misses\": " << prefetch_misses_ << " },\n";
+  out << "  \"bytes_to_dpus\": " << report.bytes_to_dpus << ",\n";
+  out << "  \"bytes_from_dpus\": " << report.bytes_from_dpus << ",\n";
+  out << "  \"total_instructions\": " << report.total_instructions << ",\n";
+  out << "  \"total_dma_bytes\": " << report.total_dma_bytes << "\n";
+  out << "}\n";
+}
+
+bool StatsCollector::write_json_file(const std::string& path,
+                                     const RunReport& report) const {
+  std::ofstream out(path);
+  if (!out) {
+    PIMNW_WARN("stats: cannot open " << path << " for writing");
+    return false;
+  }
+  write_json(out, report);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace pimnw::core

@@ -1,0 +1,115 @@
+// Per-run execution statistics (ISSUE 3, DESIGN.md "Observability").
+//
+// StatsCollector is a passive observer the execution engine feeds from its
+// sequenced commit stage: one LaunchRecord per rank-batch (timeline
+// placement + cycle aggregates), streaming per-DPU cycle min/mean/max,
+// banded-cell totals for GCUPS, work-stealing counters from the thread pool
+// and prefetch hit/miss counts. It never participates in the RunReport
+// arithmetic, so modeled outputs are bit-identical whether or not a
+// collector (or tracing) is attached — engine_test pins this.
+//
+// When tracing is enabled (util/trace.hpp) the collector also reconstructs
+// the *modeled PiM timeline* as trace spans: a lane per rank (transfer /
+// launch / readback) and a lane per DPU whose spans carry the modeled cycle
+// counts, converted to seconds at upmem::kDpuFrequencyHz. Summing the
+// per-DPU span cycles therefore reproduces the LaunchStats aggregates
+// exactly (trace_test and engine_test assert this).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "upmem/rank.hpp"
+
+namespace pimnw::core {
+
+struct RunReport;
+
+/// One rank-batch launch as the commit stage placed it on the modeled
+/// timeline.
+struct LaunchRecord {
+  std::uint64_t batch = 0;
+  int rank = 0;
+  double start_seconds = 0.0;       // max(prep ready, rank free)
+  double exec_start_seconds = 0.0;  // after in-transfer + launch overhead
+  double exec_end_seconds = 0.0;
+  double end_seconds = 0.0;         // after the readback transfer
+  std::uint64_t max_cycles = 0;     // == LaunchStats.max_cycles
+  std::uint64_t sum_dpu_cycles = 0; // Σ cycles over the launched DPUs
+  int active_dpus = 0;
+};
+
+class StatsCollector {
+ public:
+  /// Record one committed launch; emits modeled-timeline trace spans when
+  /// tracing is enabled. `start` is the batch's timeline start,
+  /// `in_seconds`/`overhead_seconds`/`out_seconds` the transfer-in, launch
+  /// overhead and readback legs; execution duration comes from `agg`.
+  void on_launch(
+      std::uint64_t batch, int rank, double start, double in_seconds,
+      double overhead_seconds, double out_seconds,
+      const std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank>&
+          summaries,
+      const std::array<bool, upmem::kDpusPerRank>& ran,
+      const upmem::Rank::LaunchStats& agg);
+
+  /// Record the all-vs-all broadcast (delays every rank equally).
+  void on_broadcast(double seconds, std::uint64_t bytes, int nr_ranks);
+
+  /// Banded DP cells of a committed batch (Σ pair_workload) — GCUPS input.
+  void add_cells(std::uint64_t cells);
+
+  void note_prefetch(std::uint64_t hits, std::uint64_t misses);
+
+  /// Thread-pool counter deltas over the observed run.
+  void note_pool(std::uint64_t executed, std::uint64_t stolen,
+                 std::uint64_t injected);
+
+  const std::vector<LaunchRecord>& launches() const { return launches_; }
+  std::uint64_t total_cells() const { return cells_; }
+  std::uint64_t dpu_count() const { return dpu_count_; }
+  std::uint64_t dpu_cycles_min() const { return dpu_count_ ? cycles_min_ : 0; }
+  std::uint64_t dpu_cycles_max() const { return cycles_max_; }
+  double dpu_cycles_mean() const {
+    return dpu_count_ ? static_cast<double>(cycles_sum_) /
+                            static_cast<double>(dpu_count_)
+                      : 0.0;
+  }
+  std::uint64_t prefetch_hits() const { return prefetch_hits_; }
+  std::uint64_t prefetch_misses() const { return prefetch_misses_; }
+  std::uint64_t pool_executed() const { return pool_executed_; }
+  std::uint64_t pool_stolen() const { return pool_stolen_; }
+  std::uint64_t pool_injected() const { return pool_injected_; }
+
+  /// The per-run report: RunReport numbers plus derived throughput
+  /// (pairs/s, GCUPS), the per-DPU cycle distribution, and the engine
+  /// counters, as JSON.
+  void write_json(std::ostream& out, const RunReport& report) const;
+  bool write_json_file(const std::string& path,
+                       const RunReport& report) const;
+
+ private:
+  /// Modeled-lane tid allocation: rank r owns a contiguous block of
+  /// kDpusPerRank + 1 tids starting at lane_base(r); the first is the rank
+  /// lane, the rest the per-DPU lanes.
+  static std::uint32_t lane_base(int rank);
+  void name_rank_lanes(int rank);
+
+  std::vector<LaunchRecord> launches_;
+  std::vector<bool> rank_lanes_named_;
+  std::uint64_t cells_ = 0;
+  std::uint64_t cycles_min_ = ~std::uint64_t{0};
+  std::uint64_t cycles_max_ = 0;
+  std::uint64_t cycles_sum_ = 0;
+  std::uint64_t dpu_count_ = 0;
+  std::uint64_t prefetch_hits_ = 0;
+  std::uint64_t prefetch_misses_ = 0;
+  std::uint64_t pool_executed_ = 0;
+  std::uint64_t pool_stolen_ = 0;
+  std::uint64_t pool_injected_ = 0;
+};
+
+}  // namespace pimnw::core

@@ -18,7 +18,9 @@ std::uint8_t* Mram::chunk_for_write(std::uint64_t index) {
 }
 
 void Mram::write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
-  PIMNW_CHECK_MSG(addr + bytes.size() <= capacity_,
+  // Overflow-safe form: `addr + size <= capacity_` wraps for huge addr and
+  // would accept out-of-bank accesses.
+  PIMNW_CHECK_MSG(addr <= capacity_ && bytes.size() <= capacity_ - addr,
                   "MRAM write out of bank: addr=" << addr << " size="
                                                   << bytes.size());
   const std::uint8_t* src = bytes.data();
@@ -34,7 +36,7 @@ void Mram::write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
 }
 
 void Mram::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
-  PIMNW_CHECK_MSG(addr + out.size() <= capacity_,
+  PIMNW_CHECK_MSG(addr <= capacity_ && out.size() <= capacity_ - addr,
                   "MRAM read out of bank: addr=" << addr << " size="
                                                  << out.size());
   std::uint8_t* dst = out.data();
@@ -63,7 +65,7 @@ void Mram::check_dma(std::uint64_t addr, std::uint64_t bytes) const {
                   "DMA size " << bytes << " not a multiple of 8");
   PIMNW_CHECK_MSG(bytes >= kDmaMinBytes && bytes <= kDmaMaxBytes,
                   "DMA size " << bytes << " outside [8, 2048]");
-  PIMNW_CHECK_MSG(addr + bytes <= capacity_,
+  PIMNW_CHECK_MSG(addr <= capacity_ && bytes <= capacity_ - addr,
                   "DMA transfer out of bank: addr=" << addr << " size="
                                                     << bytes);
 }

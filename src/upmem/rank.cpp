@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <string>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace pimnw::upmem {
 
@@ -41,6 +43,7 @@ Rank::LaunchStats Rank::launch(
   ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   const auto body = [&](std::size_t d) {
     if (!programs[d]) return;
+    PIMNW_TRACE_SPAN("sim dpu " + std::to_string(d));
     summaries[d] = dpus_[d].launch(*programs[d], pools, tasklets_per_pool);
   };
   if (tp.size() > 1) {

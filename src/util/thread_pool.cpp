@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
 #include "util/logging.hpp"
+#include "util/trace.hpp"
 
 namespace pimnw {
 namespace {
@@ -81,16 +83,21 @@ ThreadPool::Task* ThreadPool::acquire(int index) {
     for (std::size_t k = 1; k <= n && task == nullptr; ++k) {
       task = deques_[(start + k) % n]->steal();
     }
+    if (task != nullptr) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (task == nullptr) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!injector_.empty()) {
       task = injector_.front();
       injector_.pop_front();
+      injected_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (task != nullptr) {
     pending_.fetch_sub(1, std::memory_order_seq_cst);
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
   return task;
 }
@@ -115,6 +122,7 @@ bool ThreadPool::run_one(int index) {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_index = static_cast<int>(index);
+  trace::set_thread_name("worker " + std::to_string(index));
   while (true) {
     if (run_one(static_cast<int>(index))) continue;
     std::unique_lock<std::mutex> lock(mutex_);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -162,6 +163,22 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Monotonic scheduling counters (relaxed atomics bumped once per task —
+  /// noise next to the tasks themselves, which are whole DPU simulations).
+  /// `executed` counts every task run, `stolen` the subset a thread took
+  /// from another worker's deque, `injected` the subset drained from the
+  /// outside-submission queue. Observers (core/stats.hpp) read deltas.
+  struct Stats {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t injected = 0;
+  };
+  Stats stats() const {
+    return {executed_.load(std::memory_order_relaxed),
+            stolen_.load(std::memory_order_relaxed),
+            injected_.load(std::memory_order_relaxed)};
+  }
+
   /// Index of the calling thread within this pool, or -1 for outside
   /// threads. Lets per-worker state (scratch arenas) be indexed without
   /// locks: a worker is one OS thread, so its slot is never contended.
@@ -224,6 +241,9 @@ class ThreadPool {
   std::condition_variable cv_;
   std::atomic<std::int64_t> pending_{0};  // queued, not yet acquired
   std::atomic<int> sleepers_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> injected_{0};
   bool stop_ = false;  // guarded by mutex_
 };
 
@@ -244,8 +264,15 @@ class Prefetch {
   /// `pool == nullptr` stages on global_pool().
   explicit Prefetch(ThreadPool* pool = nullptr) : pool_(pool) {}
 
+  /// Staging over a live stage is a usage error: the new future would
+  /// silently replace the staged one, losing its result and potentially
+  /// blocking in the abandoned future's destructor (symmetric with the
+  /// take()-without-stage check).
   template <typename F>
   void stage(F&& fn) {
+    PIMNW_CHECK_MSG(!staged_,
+                    "Prefetch::stage() over an already-staged item — call "
+                    "take() first (each stage() feeds one take())");
     next_ = (pool_ != nullptr ? *pool_ : global_pool())
                 .submit(std::forward<F>(fn));
     staged_ = true;
@@ -260,15 +287,28 @@ class Prefetch {
                     "Prefetch::take() with nothing staged — call stage() "
                     "first (each take() consumes one stage())");
     staged_ = false;
+    if (next_.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
     return next_.get();
   }
 
   bool staged() const { return staged_; }
 
+  /// take() calls that found the staged item already built (the look-ahead
+  /// won) vs. ones that had to block on the builder.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
  private:
   ThreadPool* pool_;
   std::future<T> next_;
   bool staged_ = false;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace pimnw

@@ -7,15 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/host.hpp"
+#include "core/stats.hpp"
 #include "data/pacbio.hpp"
 #include "data/phylo16s.hpp"
 #include "data/synthetic.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace pimnw::core {
 namespace {
@@ -192,6 +196,94 @@ TEST(EngineDeterminismTest, AllVsAllBitIdenticalAcrossEngines) {
                  std::to_string(v.pool_threads));
     expect_identical(run_variant(v), reference);
   }
+}
+
+TEST(EngineDeterminismTest, TracingDoesNotPerturbModeledOutputs) {
+  // The observability layer (ISSUE 3) must be a pure observer: every score,
+  // CIGAR and modeled statistic bit-identical with tracing + a collector
+  // attached vs a bare run, at any worker count. And the modeled per-DPU
+  // trace spans must carry the exact cycle totals the collector recorded.
+  data::SyntheticConfig data_config = data::s10000_config(20);
+  data_config.read_length = 2000;
+  const data::PairDataset dataset = data::generate_synthetic(data_config);
+  std::vector<PairInput> pairs;
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+
+  PimAlignerConfig base;
+  base.nr_ranks = 2;
+  base.batch_pairs = 6;  // 20 pairs -> 4 batches over 2 ranks
+
+  auto run = [&](bool traced, StatsCollector* stats, EngineMode mode,
+                 std::size_t threads) -> RunResult {
+    std::optional<ThreadPool> pool;
+    PimAlignerConfig config = base;
+    config.engine = mode;
+    config.stats = stats;
+    if (threads > 0) {
+      pool.emplace(threads);
+      config.workers = &*pool;
+    }
+    trace::clear();
+    trace::set_enabled(traced);
+    PimAligner aligner(config);
+    RunResult r;
+    r.report = aligner.align_pairs(pairs, &r.out);
+    trace::set_enabled(false);
+    return r;
+  };
+
+  const RunResult reference =
+      run(false, nullptr, EngineMode::kPipelined, 1);
+
+  struct TracedVariant {
+    EngineMode mode;
+    std::size_t threads;
+  };
+  const TracedVariant variants[] = {
+      {EngineMode::kPipelined, 1},
+      {EngineMode::kPipelined, 2},
+      {EngineMode::kPipelined, 0},
+      {EngineMode::kLegacyBarrier, 2},
+  };
+  for (const TracedVariant& v : variants) {
+    SCOPED_TRACE(std::string(engine_mode_name(v.mode)) + " threads " +
+                 std::to_string(v.threads));
+    StatsCollector stats;
+    const RunResult traced = run(true, &stats, v.mode, v.threads);
+    expect_identical(traced, reference);
+
+    // The collector saw every committed launch, and its streaming cycle
+    // aggregates agree with the per-launch records.
+    ASSERT_EQ(stats.launches().size(), traced.report.batches);
+    std::uint64_t record_cycle_sum = 0;
+    std::uint64_t record_max = 0;
+    std::uint64_t record_dpus = 0;
+    for (const LaunchRecord& rec : stats.launches()) {
+      record_cycle_sum += rec.sum_dpu_cycles;
+      record_max = std::max(record_max, rec.max_cycles);
+      record_dpus += static_cast<std::uint64_t>(rec.active_dpus);
+    }
+    EXPECT_EQ(stats.dpu_count(), record_dpus);
+    EXPECT_EQ(stats.dpu_cycles_max(), record_max);
+
+    // Acceptance criterion: the per-DPU modeled trace spans reproduce the
+    // LaunchStats cycle totals exactly (args.cycles is the integer count;
+    // the double timestamps are only its 350 MHz rendering).
+    std::uint64_t span_cycle_sum = 0;
+    std::uint64_t span_count = 0;
+    std::uint64_t span_max = 0;
+    for (const trace::Event& e : trace::snapshot()) {
+      if (e.pid != trace::kModeledPid || e.phase != 'X') continue;
+      if (e.name.find(" d") == std::string::npos) continue;  // "bN dD" lanes
+      span_cycle_sum += e.cycles;
+      span_max = std::max(span_max, e.cycles);
+      ++span_count;
+    }
+    EXPECT_EQ(span_cycle_sum, record_cycle_sum);
+    EXPECT_EQ(span_count, record_dpus);
+    EXPECT_EQ(span_max, record_max);
+  }
+  trace::clear();
 }
 
 TEST(EngineDeterminismTest, PipelinedMatchesReferenceAligner) {

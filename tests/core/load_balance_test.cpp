@@ -104,6 +104,27 @@ TEST(LptTest, FewerItemsThanBins) {
   EXPECT_EQ(nonempty, 2);
 }
 
+TEST(LptTest, ImbalanceUsesMeanOverNonemptyBins) {
+  // Regression: with fewer items than bins the old imbalance divided by the
+  // bin count, so 2 items in 8 bins reported max/(8/8)=5 — nonsense that
+  // inflated RunReport::load_imbalance on small tails. Idle DPUs are not
+  // load-bearing: the mean must be over the 2 nonempty bins, (5+3)/2 = 4.
+  std::vector<WorkItem> items = {{0, 5}, {1, 3}};
+  const Assignment assignment = lpt_assign(items, 8);
+  EXPECT_DOUBLE_EQ(assignment.imbalance(), 5.0 / 4.0);
+}
+
+TEST(LptTest, ImbalanceOfSingleItemIsOne) {
+  std::vector<WorkItem> items = {{0, 7}};
+  const Assignment assignment = lpt_assign(items, 64);
+  EXPECT_DOUBLE_EQ(assignment.imbalance(), 1.0);
+}
+
+TEST(LptTest, ImbalanceOfEmptyAssignmentIsOne) {
+  const Assignment assignment = lpt_assign({}, 4);
+  EXPECT_DOUBLE_EQ(assignment.imbalance(), 1.0);
+}
+
 TEST(LptTest, EmptyInput) {
   const Assignment assignment = lpt_assign({}, 4);
   EXPECT_EQ(assignment.max_load(), 0u);

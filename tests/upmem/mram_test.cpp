@@ -66,6 +66,24 @@ TEST(MramTest, DmaRulesEnforced) {
   EXPECT_THROW(mram.check_dma(mram.capacity() - 8, 16), CheckError);
 }
 
+TEST(MramTest, HugeAddressDoesNotWrapBoundsCheck) {
+  // Regression: the bounds check used to compute addr + size, which wraps
+  // for addresses near UINT64_MAX and let a "negative" window pass as
+  // in-bank. The overflow-safe form (addr <= cap && size <= cap - addr)
+  // must reject these.
+  Mram mram;
+  std::vector<std::uint8_t> data(16);
+  const std::uint64_t huge = ~std::uint64_t{0} - 8;  // addr + 16 wraps to 7
+  EXPECT_THROW(mram.write(huge, data), CheckError);
+  EXPECT_THROW(mram.read(huge, data), CheckError);
+  EXPECT_THROW(mram.write(~std::uint64_t{0}, data), CheckError);
+  // DMA check: 8-aligned huge address, wrapping size window.
+  EXPECT_THROW(mram.check_dma(~std::uint64_t{0} - 7, 16), CheckError);
+  // Zero-length write at an out-of-bank address is still out of bank.
+  std::vector<std::uint8_t> empty;
+  EXPECT_THROW(mram.write(mram.capacity() + 1, empty), CheckError);
+}
+
 TEST(MramTest, ZeroLengthHostAccessOk) {
   Mram mram;
   std::vector<std::uint8_t> empty;

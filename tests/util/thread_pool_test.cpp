@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/check.hpp"
@@ -135,6 +137,58 @@ TEST(ThreadPoolTest, ParallelForRethrowsFirstError) {
       std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ParallelForErrorStillCoversOrThrows) {
+  // Under an error, every index either ran or was abandoned *after* the
+  // throw was latched — parallel_for may cut the loop short, but it must
+  // never return normally with indices silently dropped.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(256);
+  bool threw = false;
+  try {
+    pool.parallel_for(hits.size(), [&](std::size_t i) {
+      if (i == 100) throw std::runtime_error("boom");
+      hits[i].fetch_add(1);
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  for (const auto& h : hits) EXPECT_LE(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExactlyOneError) {
+  // The caller-helps path: an exception thrown by an *inner* parallel_for
+  // running on a worker that is simultaneously part of the outer loop must
+  // surface exactly once at the outer call site (first error wins; no
+  // std::terminate from a second in-flight exception, no swallowed error).
+  ThreadPool pool(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::atomic<int> caught{0};
+    std::atomic<int> outer_done{0};
+    try {
+      pool.parallel_for(8, [&](std::size_t outer) {
+        try {
+          pool.parallel_for(8, [&](std::size_t inner) {
+            if (outer == 3 && inner == 5) {
+              throw std::runtime_error("inner boom");
+            }
+          });
+        } catch (const std::runtime_error&) {
+          caught.fetch_add(1);
+          throw;  // escalate to the outer loop
+        }
+        outer_done.fetch_add(1);
+      });
+      FAIL() << "outer parallel_for swallowed the error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "inner boom");
+    }
+    // The inner error was observed exactly once and escalated exactly once.
+    EXPECT_EQ(caught.load(), 1) << "trial " << trial;
+    EXPECT_LE(outer_done.load(), 7) << "trial " << trial;
+  }
+}
+
 TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   // A parallel_for issued from inside a pool task must complete even when
   // every worker is busy with the outer loop — the caller-helps design.
@@ -186,6 +240,19 @@ TEST(ThreadPoolTest, HelpOneRunsAQueuedTask) {
   release.store(true);
 }
 
+TEST(ThreadPoolTest, StatsCountExecutedTasks) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.stats();
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) futs.push_back(pool.submit([] {}));
+  for (auto& f : futs) f.get();
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_GE(after.executed - before.executed, 100u);
+  // submit() from a non-worker goes through the injector queue.
+  EXPECT_GE(after.injected - before.injected, 100u);
+  EXPECT_GE(after.stolen, before.stolen);
+}
+
 TEST(PrefetchTest, StageTakeRoundtrip) {
   Prefetch<int> ahead;
   ahead.stage([] { return 42; });
@@ -220,6 +287,51 @@ TEST(PrefetchTest, UsesInjectedPool) {
   Prefetch<int> ahead(&pool);
   ahead.stage([&pool] { return pool.worker_index(); });
   EXPECT_EQ(ahead.take(), 0);  // ran on the injected pool's only worker
+}
+
+TEST(PrefetchTest, DoubleStageFailsCheck) {
+  // Regression: stage() over an already-staged item used to silently drop
+  // the staged future (abandoning its side effects and losing the built
+  // batch). It is a protocol violation and must fail the check.
+  Prefetch<int> ahead;
+  ahead.stage([] { return 1; });
+  EXPECT_THROW(ahead.stage([] { return 2; }), CheckError);
+  // The original staged item is still intact and takeable.
+  EXPECT_EQ(ahead.take(), 1);
+}
+
+TEST(PrefetchTest, CountsHitsAndMisses) {
+  Prefetch<int> ahead;
+  EXPECT_EQ(ahead.hits(), 0u);
+  EXPECT_EQ(ahead.misses(), 0u);
+
+  // Hit: the builder finishes long before take() looks.
+  std::atomic<bool> done{false};
+  ahead.stage([&done] {
+    done.store(true);
+    return 1;
+  });
+  while (!done.load()) std::this_thread::yield();
+  // Grace period for the packaged task to mark the future ready.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(ahead.take(), 1);
+  EXPECT_EQ(ahead.hits(), 1u);
+  EXPECT_EQ(ahead.misses(), 0u);
+
+  // Miss: the builder blocks until after take() has started waiting.
+  std::atomic<bool> release{false};
+  ahead.stage([&release] {
+    while (!release.load()) std::this_thread::yield();
+    return 2;
+  });
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true);
+  });
+  EXPECT_EQ(ahead.take(), 2);
+  releaser.join();
+  EXPECT_EQ(ahead.hits(), 1u);
+  EXPECT_EQ(ahead.misses(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// backend_bench — heterogeneous dispatch on a mixed workload (ISSUE 4).
+//
+// The workload mixes the two length regimes the backends are asymmetrically
+// good at (uniform ~5% divergence, so the per-pair signal is the one the
+// cost model can actually see — length): many short pairs, where WFA's
+// cost-proportional work s·(m+n) with s ∝ error·(m+n) is far below the
+// banded DP bill of (m+n)·w cells, and a tail of long pairs past the
+// crossover, where the quadratic wavefront cost dwarfs banded DP. Every
+// single-backend policy is therefore slow on one half of the workload,
+// while cost-model routing — per-pair argmin of estimates calibrated
+// against measured probe throughput — sends each class where it is cheap.
+// The headline assertion of BENCH_backend.json is cost_beats_all_singles.
+//
+// All numbers are host wall-clock of Dispatcher::align (best of --reps);
+// the PiM backend's wall-clock is the simulator's, so this bench compares
+// orchestration strategies, not the paper's modeled hardware speedups.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/dispatch.hpp"
+#include "data/mutate.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace pimnw;
+
+struct Workload {
+  // Owning storage; pairs view into it.
+  data::PairDataset short_reads;
+  data::PairDataset long_reads;
+  std::vector<core::PairInput> pairs;
+  std::vector<core::PairInput> probe;  // calibration sample, both classes
+};
+
+Workload build_workload(std::size_t short_pairs, std::size_t short_len,
+                        std::size_t long_pairs, std::size_t long_len,
+                        double error_rate, std::uint64_t seed) {
+  Workload w;
+  data::SyntheticConfig short_config;
+  short_config.read_length = short_len;
+  short_config.pair_count = short_pairs;
+  short_config.errors.error_rate = error_rate;
+  short_config.seed = seed;
+  w.short_reads = data::generate_synthetic(short_config);
+
+  data::SyntheticConfig long_config;
+  long_config.read_length = long_len;
+  long_config.pair_count = long_pairs;
+  long_config.errors.error_rate = error_rate;
+  long_config.seed = seed + 1;
+  w.long_reads = data::generate_synthetic(long_config);
+
+  // Interleave so threshold/cost routing is exercised throughout the span,
+  // not in two contiguous blocks.
+  const std::size_t n =
+      std::max(w.short_reads.pairs.size(), w.long_reads.pairs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < w.short_reads.pairs.size()) {
+      const auto& [a, b] = w.short_reads.pairs[i];
+      w.pairs.push_back({a, b});
+    }
+    if (i < w.long_reads.pairs.size()) {
+      const auto& [a, b] = w.long_reads.pairs[i];
+      w.pairs.push_back({a, b});
+    }
+  }
+  // Calibration probe: both classes, so each backend's cost_scale reflects
+  // the workload mix rather than whichever class happens to come first.
+  for (std::size_t i = 0; i < 2 && i < w.short_reads.pairs.size(); ++i) {
+    const auto& [a, b] = w.short_reads.pairs[i];
+    w.probe.push_back({a, b});
+  }
+  for (std::size_t i = 0; i < 2 && i < w.long_reads.pairs.size(); ++i) {
+    const auto& [a, b] = w.long_reads.pairs[i];
+    w.probe.push_back({a, b});
+  }
+  return w;
+}
+
+struct RunRow {
+  std::string name;
+  core::DispatchReport report;
+};
+
+/// Best-of-`reps` dispatch of the workload under `config`. Fresh backends
+/// per rep so accounting and calibration never leak between runs.
+RunRow run_policy(const std::string& name, const Workload& w,
+                  const core::DispatchConfig& config, ThreadPool& workers,
+                  int reps, bool calibrate) {
+  RunRow row;
+  row.name = name;
+  row.report.wall_seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::PimBackend pim({core::PimAlignerConfig{}});
+    core::CpuBackend cpu(core::CpuBackend::Config{}, &workers);
+    core::WfaBackend wfa(core::WfaBackend::Config{}, &workers);
+    core::Dispatcher dispatcher(config, {&pim, &cpu, &wfa});
+    if (calibrate) dispatcher.calibrate(w.probe, w.probe.size());
+    std::vector<core::PairOutput> out;
+    core::DispatchReport report = dispatcher.align(w.pairs, &out);
+    if (report.wall_seconds < row.report.wall_seconds) {
+      row.report = std::move(report);
+    }
+  }
+  std::printf("%-16s %8.3fs  routed pim %4llu / cpu %4llu / wfa %4llu  "
+              "aligned %llu/%llu\n",
+              row.name.c_str(), row.report.wall_seconds,
+              static_cast<unsigned long long>(row.report.routed[0]),
+              static_cast<unsigned long long>(row.report.routed[1]),
+              static_cast<unsigned long long>(row.report.routed[2]),
+              static_cast<unsigned long long>(row.report.aligned),
+              static_cast<unsigned long long>(row.report.total_pairs));
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("backend_bench",
+          "mixed-workload comparison of dispatch policies across the PiM, "
+          "CPU-KSW2 and WFA backends");
+  cli.flag("short-pairs", std::int64_t{1200}, "short pairs (WFA regime)");
+  cli.flag("short-length", std::int64_t{150}, "short read length");
+  cli.flag("long-pairs", std::int64_t{40}, "long pairs (banded-DP regime)");
+  cli.flag("long-length", std::int64_t{4000}, "long read length");
+  cli.flag("error-rate", 0.05, "per-base divergence of both classes");
+  cli.flag("threads", std::int64_t{0},
+           "worker threads (0 = hardware concurrency)");
+  cli.flag("reps", std::int64_t{3}, "repetitions (best-of)");
+  cli.flag("seed", std::int64_t{11}, "dataset seed");
+  cli.flag("out", std::string("BENCH_backend.json"), "output JSON path");
+  cli.parse(argc, argv);
+
+  auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ThreadPool workers(threads);
+  const int reps = static_cast<int>(cli.get_int("reps"));
+
+  const Workload w = build_workload(
+      static_cast<std::size_t>(cli.get_int("short-pairs")),
+      static_cast<std::size_t>(cli.get_int("short-length")),
+      static_cast<std::size_t>(cli.get_int("long-pairs")),
+      static_cast<std::size_t>(cli.get_int("long-length")),
+      cli.get_double("error-rate"),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  std::printf("mixed workload: %zu pairs (%zu short x %lld bp + %zu long x "
+              "%lld bp, %.1f%% error), %zu workers\n",
+              w.pairs.size(), w.short_reads.pairs.size(),
+              static_cast<long long>(cli.get_int("short-length")),
+              w.long_reads.pairs.size(),
+              static_cast<long long>(cli.get_int("long-length")),
+              cli.get_double("error-rate") * 100.0, threads);
+
+  std::vector<RunRow> rows;
+  for (const core::BackendKind kind :
+       {core::BackendKind::kPim, core::BackendKind::kCpu,
+        core::BackendKind::kWfa}) {
+    core::DispatchConfig config;
+    config.policy = core::RoutePolicy::kSingle;
+    config.single = kind;
+    rows.push_back(run_policy(
+        std::string("single_") + core::backend_kind_name(kind), w, config,
+        workers, reps, /*calibrate=*/false));
+  }
+  {
+    // A hand-tuned threshold split for reference: what the cost model should
+    // rediscover without being told the workload's length boundary.
+    core::DispatchConfig config;
+    config.policy = core::RoutePolicy::kLengthThreshold;
+    config.length_threshold = 1000;
+    config.short_backend = core::BackendKind::kWfa;
+    config.long_backend = core::BackendKind::kCpu;
+    rows.push_back(run_policy("threshold", w, config, workers, reps,
+                              /*calibrate=*/false));
+  }
+  {
+    core::DispatchConfig config;
+    config.policy = core::RoutePolicy::kCostModel;
+    rows.push_back(run_policy("cost", w, config, workers, reps,
+                              /*calibrate=*/true));
+  }
+
+  const double cost_seconds = rows.back().report.wall_seconds;
+  bool beats_all_singles = true;
+  for (const RunRow& row : rows) {
+    if (row.name.rfind("single_", 0) == 0 &&
+        cost_seconds >= row.report.wall_seconds) {
+      beats_all_singles = false;
+    }
+  }
+  std::printf("cost-model routing %s every single-backend run\n",
+              beats_all_singles ? "beats" : "does NOT beat");
+
+  const std::string path = cli.get_string("out");
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"short_pairs\": " << w.short_reads.pairs.size() << ",\n";
+  out << "  \"long_pairs\": " << w.long_reads.pairs.size() << ",\n";
+  out << "  \"cost_beats_all_singles\": "
+      << (beats_all_singles ? "true" : "false") << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    { \"name\": \"" << rows[i].name << "\", \"report\":\n";
+    core::write_dispatch_json(out, rows[i].report);
+    out << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return beats_all_singles ? 0 : 1;
+}

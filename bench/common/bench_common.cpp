@@ -66,7 +66,7 @@ RuntimeComparison compute_runtime_comparison(const RuntimeTableSpec& spec,
   RuntimeComparison out;
 
   // ---- CPU baseline: measured locally, modeled for the paper's Xeons.
-  std::vector<baseline::CpuPair> cpu_pairs;
+  std::vector<core::PairInput> cpu_pairs;
   cpu_pairs.reserve(pairs.size());
   for (const auto& [a, b] : pairs) cpu_pairs.push_back({a, b});
   baseline::Ksw2Options cpu_options;

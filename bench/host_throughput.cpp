@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/backend.hpp"
+#include "core/dispatch.hpp"
 #include "core/host.hpp"
 #include "core/stats.hpp"
 #include "data/synthetic.hpp"
@@ -51,19 +53,52 @@ EngineTiming time_engine(const std::vector<core::PairInput>& pairs,
   return timing;
 }
 
+/// Best-of-N wall-clock of the same workload through the backend/dispatch
+/// layer (ISSUE 4) under the bench's --backend/--policy selection.
+EngineTiming time_dispatch(const std::vector<core::PairInput>& pairs,
+                           core::PimAlignerConfig config,
+                           core::BackendKind backend_kind,
+                           core::RoutePolicy policy, ThreadPool& workers,
+                           double banded_cells, int reps) {
+  config.engine = core::EngineMode::kPipelined;
+  config.workers = &workers;
+  EngineTiming timing;
+  timing.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::PimBackend pim({config});
+    core::CpuBackend cpu(core::CpuBackend::Config{}, &workers);
+    core::WfaBackend wfa(core::WfaBackend::Config{}, &workers);
+    core::DispatchConfig dispatch_config;
+    dispatch_config.policy = policy;
+    dispatch_config.single = backend_kind;
+    core::Dispatcher dispatcher(dispatch_config, {&pim, &cpu, &wfa});
+    if (policy == core::RoutePolicy::kCostModel) {
+      dispatcher.calibrate(pairs);
+    }
+    std::vector<core::PairOutput> out;
+    const core::DispatchReport report = dispatcher.align(pairs, &out);
+    timing.seconds = std::min(timing.seconds, report.wall_seconds);
+  }
+  timing.pairs_per_second = static_cast<double>(pairs.size()) / timing.seconds;
+  timing.gcups = banded_cells / timing.seconds / 1e9;
+  return timing;
+}
+
 struct WorkloadResult {
   std::string name;
   std::size_t pairs = 0;
   std::size_t read_length = 0;
   EngineTiming legacy;
   EngineTiming pipelined;
+  EngineTiming dispatch;
   double speedup = 0.0;
 };
 
 WorkloadResult run_workload(const std::string& name,
                             const data::SyntheticConfig& data_config,
                             std::size_t batch_pairs, ThreadPool& workers,
-                            int reps) {
+                            int reps, core::BackendKind backend_kind,
+                            core::RoutePolicy policy) {
   const data::PairDataset dataset = data::generate_synthetic(data_config);
   std::vector<core::PairInput> pairs;
   pairs.reserve(dataset.pairs.size());
@@ -87,12 +122,15 @@ WorkloadResult run_workload(const std::string& name,
                               workers, banded_cells, reps);
   result.pipelined = time_engine(pairs, config, core::EngineMode::kPipelined,
                                  workers, banded_cells, reps);
+  result.dispatch = time_dispatch(pairs, config, backend_kind, policy, workers,
+                                  banded_cells, reps);
   result.speedup = result.legacy.seconds / result.pipelined.seconds;
   std::printf("%-8s %5zu pairs x %5zu bp  legacy %7.3fs  pipelined %7.3fs  "
-              "speedup %.2fx  (%.0f pairs/s, %.3f GCUPS)\n",
+              "speedup %.2fx  dispatch %7.3fs  (%.0f pairs/s, %.3f GCUPS)\n",
               name.c_str(), result.pairs, result.read_length,
               result.legacy.seconds, result.pipelined.seconds, result.speedup,
-              result.pipelined.pairs_per_second, result.pipelined.gcups);
+              result.dispatch.seconds, result.pipelined.pairs_per_second,
+              result.pipelined.gcups);
   return result;
 }
 
@@ -161,7 +199,19 @@ int main(int argc, char** argv) {
            "write the instrumented pass's per-run stats report JSON "
            "(pairs/s, GCUPS, per-DPU cycle distribution, steal/prefetch "
            "counters) to this path; implies the --trace pass");
+  cli.flag("backend", std::string("pim"),
+           "backend of the dispatched pass under --policy single: "
+           "pim | cpu | wfa");
+  cli.flag("policy", std::string("single"),
+           "routing policy of the dispatched pass: single | threshold | cost");
   cli.parse(argc, argv);
+
+  const auto backend_kind = core::parse_backend_kind(cli.get_string("backend"));
+  const auto policy = core::parse_route_policy(cli.get_string("policy"));
+  if (!backend_kind || !policy) {
+    std::fprintf(stderr, "unknown --backend or --policy value\n");
+    return 1;
+  }
 
   auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   if (threads == 0) {
@@ -177,8 +227,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("s10000-pairs")), seed);
 
   std::vector<WorkloadResult> results;
-  results.push_back(run_workload("S1000", s1000, 64, workers, reps));
-  results.push_back(run_workload("S10000", s10000, 16, workers, reps));
+  results.push_back(
+      run_workload("S1000", s1000, 64, workers, reps, *backend_kind, *policy));
+  results.push_back(run_workload("S10000", s10000, 16, workers, reps,
+                                 *backend_kind, *policy));
 
   const std::string path = cli.get_string("out");
   std::ofstream out(path);
@@ -188,6 +240,10 @@ int main(int argc, char** argv) {
       << ",\n";
   out << "  \"batch_window\": " << core::PimAlignerConfig{}.batch_window
       << ",\n";
+  out << "  \"dispatch_backend\": \"" << core::backend_kind_name(*backend_kind)
+      << "\",\n";
+  out << "  \"dispatch_policy\": \"" << core::route_policy_name(*policy)
+      << "\",\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];
     out << "  \"" << r.name << "\": {\n";
@@ -196,6 +252,8 @@ int main(int argc, char** argv) {
     write_engine(out, "legacy_barrier", r.legacy);
     out << ",\n";
     write_engine(out, "pipelined", r.pipelined);
+    out << ",\n";
+    write_engine(out, "dispatch", r.dispatch);
     out << ",\n";
     out << "    \"speedup_pipelined_vs_legacy\": " << r.speedup << "\n";
     out << "  }" << (i + 1 < results.size() ? "," : "") << "\n";

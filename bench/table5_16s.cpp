@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
             << " sequences, " << fmt_count(paper_pairs) << " pairs)\n";
 
   // ---- CPU baseline: static band 512 for >=85% accuracy (Table 1).
-  std::vector<baseline::CpuPair> cpu_pairs;
+  std::vector<core::PairInput> cpu_pairs;
   cpu_pairs.reserve(pair_count);
   for (std::size_t i = 0; i < seqs.size(); ++i) {
     for (std::size_t j = i + 1; j < seqs.size(); ++j) {

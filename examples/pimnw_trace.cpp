@@ -1,14 +1,20 @@
 // pimnw_trace — capture an execution trace + run statistics of the pipelined
 // engine on a synthetic workload (ISSUE 3, DESIGN.md "Observability").
 //
-// Runs align_pairs with tracing enabled and a StatsCollector attached, then
-// writes:
+// Runs the workload through the backend/dispatch layer (ISSUE 4) with tracing
+// enabled and a StatsCollector attached to the PiM backend, then writes:
 //   * a Chrome/Perfetto trace JSON with two track groups — the wall-clock
-//     host pipeline (build / exec / steal / commit lanes per worker) and the
-//     modeled PiM timeline (per-rank transfer/launch lanes plus a lane per
-//     DPU, placed at modeled time from the cycle cost model at 350 MHz);
+//     host pipeline (build / exec / steal / commit lanes per worker, plus the
+//     dispatch submit/wait spans and the host backends' per-pair spans) and
+//     the modeled PiM timeline (per-rank transfer/launch lanes plus a lane
+//     per DPU, placed at modeled time from the cycle cost model at 350 MHz);
 //   * a per-run stats report JSON (pairs/s, GCUPS, per-DPU cycle
 //     distribution, imbalance, steal and prefetch counters).
+//
+// --backend {pim,cpu,wfa} picks where the pairs go under the default
+// --policy single; --policy {threshold,cost} routes across all three
+// backends at once (the heterogeneous overlap shows up in the trace as CPU
+// and WFA pair spans running underneath the PiM commit lanes).
 //
 // Open the trace at https://ui.perfetto.dev ("Open trace file"), or in
 // chrome://tracing. Instrumentation never changes modeled results —
@@ -19,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/backend.hpp"
+#include "core/dispatch.hpp"
 #include "core/host.hpp"
 #include "core/stats.hpp"
 #include "data/synthetic.hpp"
@@ -29,13 +37,17 @@
 int main(int argc, char** argv) {
   using namespace pimnw;
   Cli cli("pimnw_trace",
-          "record a Perfetto trace + stats report of one pipelined run");
+          "record a Perfetto trace + stats report of one dispatched run");
   cli.flag("pairs", std::int64_t{256}, "number of synthetic read pairs");
   cli.flag("length", std::int64_t{1000}, "read length (S=1000 by default)");
   cli.flag("ranks", std::int64_t{2}, "modeled UPMEM ranks");
   cli.flag("threads", std::int64_t{0},
            "worker threads (0 = hardware concurrency)");
   cli.flag("seed", std::int64_t{7}, "dataset seed");
+  cli.flag("backend", std::string("pim"),
+           "backend for --policy single: pim | cpu | wfa");
+  cli.flag("policy", std::string("single"),
+           "routing policy: single | threshold | cost");
   cli.flag("trace-out", std::string("trace.json"),
            "Chrome/Perfetto trace output path");
   cli.flag("stats-out", std::string("stats.json"),
@@ -48,6 +60,13 @@ int main(int argc, char** argv) {
   }
   ThreadPool workers(threads);
 
+  const auto backend_kind = core::parse_backend_kind(cli.get_string("backend"));
+  const auto policy = core::parse_route_policy(cli.get_string("policy"));
+  if (!backend_kind || !policy) {
+    std::fprintf(stderr, "unknown --backend or --policy value\n");
+    return 1;
+  }
+
   data::SyntheticConfig data_config = data::s1000_config(
       static_cast<std::size_t>(cli.get_int("pairs")),
       static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -57,24 +76,41 @@ int main(int argc, char** argv) {
   pairs.reserve(dataset.pairs.size());
   for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
 
-  core::PimAlignerConfig config;
-  config.nr_ranks = static_cast<int>(cli.get_int("ranks"));
-  config.workers = &workers;
   core::StatsCollector stats;
-  config.stats = &stats;
+  core::PimBackend::Config pim_config;
+  pim_config.aligner.nr_ranks = static_cast<int>(cli.get_int("ranks"));
+  pim_config.aligner.workers = &workers;
+  pim_config.aligner.stats = &stats;
+  core::PimBackend pim(pim_config);
+  core::CpuBackend cpu(core::CpuBackend::Config{}, &workers);
+  core::WfaBackend wfa(core::WfaBackend::Config{}, &workers);
+
+  core::DispatchConfig dispatch_config;
+  dispatch_config.policy = *policy;
+  dispatch_config.single = *backend_kind;
+  core::Dispatcher dispatcher(dispatch_config, {&pim, &cpu, &wfa});
 
   trace::set_enabled(true);
   trace::set_thread_name("main");
-  core::PimAligner aligner(config);
   std::vector<core::PairOutput> out;
-  const core::RunReport report = aligner.align_pairs(pairs, &out);
+  const core::DispatchReport report = dispatcher.align(pairs, &out);
   trace::set_enabled(false);
 
-  std::printf("%zu pairs x %zu bp on %d ranks, %zu workers: "
-              "modeled %.3f ms, %llu launches\n",
-              pairs.size(), data_config.read_length, config.nr_ranks, threads,
-              report.makespan_seconds * 1e3,
-              static_cast<unsigned long long>(stats.launches().size()));
+  const core::BackendReport* pim_report = nullptr;
+  for (const core::BackendReport& b : report.backends) {
+    if (b.kind == core::BackendKind::kPim) pim_report = &b;
+  }
+  std::printf(
+      "%zu pairs x %zu bp, policy %s (pim %llu / cpu %llu / wfa %llu), "
+      "%zu workers: wall %.3f ms, modeled PiM %.3f ms, %llu launches\n",
+      pairs.size(), data_config.read_length,
+      core::route_policy_name(report.policy),
+      static_cast<unsigned long long>(report.routed[0]),
+      static_cast<unsigned long long>(report.routed[1]),
+      static_cast<unsigned long long>(report.routed[2]), threads,
+      report.wall_seconds * 1e3,
+      (pim_report != nullptr ? pim_report->modeled_seconds : 0.0) * 1e3,
+      static_cast<unsigned long long>(stats.launches().size()));
 
   const std::string trace_path = cli.get_string("trace-out");
   if (trace::write_json_file(trace_path)) {
@@ -82,7 +118,8 @@ int main(int argc, char** argv) {
                 trace_path.c_str());
   }
   const std::string stats_path = cli.get_string("stats-out");
-  if (stats.write_json_file(stats_path, report)) {
+  if (pim_report != nullptr &&
+      stats.write_json_file(stats_path, pim_report->pim)) {
     std::printf("wrote %s\n", stats_path.c_str());
   }
   return 0;

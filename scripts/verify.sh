@@ -10,17 +10,40 @@
 # observability layer (util/trace, core/stats) is exercised under every
 # sanitizer even if the preset's default filter would skip part of it.
 #
-# Usage: scripts/verify.sh [preset ...]   (default: default asan tsan)
+# A --tidy flag adds a clang-tidy pass (the .clang-tidy profile) over the
+# core orchestration and simulator sources; it is skipped with a notice when
+# clang-tidy is not installed, so the stage is safe to request everywhere.
+#
+# Usage: scripts/verify.sh [--tidy] [preset ...]   (default: default asan tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PRESETS=("$@")
+RUN_TIDY=0
+PRESETS=()
+for arg in "$@"; do
+  if [ "$arg" = "--tidy" ]; then
+    RUN_TIDY=1
+  else
+    PRESETS+=("$arg")
+  fi
+done
 if [ ${#PRESETS[@]} -eq 0 ]; then
   PRESETS=(default asan tsan)
 fi
 
 JOBS=$(nproc 2>/dev/null || echo 4)
+
+if [ "$RUN_TIDY" -eq 1 ]; then
+  echo "=== [tidy] clang-tidy over src/core src/upmem"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # compile_commands.json comes from the default preset's configure.
+    cmake --preset default >/dev/null
+    clang-tidy -p build --quiet src/core/*.cpp src/upmem/*.cpp
+  else
+    echo "=== [tidy] clang-tidy not installed — skipping (config: .clang-tidy)"
+  fi
+fi
 
 for preset in "${PRESETS[@]}"; do
   echo "=== [$preset] configure"

@@ -69,6 +69,10 @@ class WfaEngine {
         std::max<std::int64_t>({x_, open_cost_, ext_cost_}) + 1);
   }
 
+  /// Wavefront cells touched by the last run() — the WFA equivalent of the
+  /// DP backends' cell counts (AlignResult::cells).
+  std::uint64_t cells_used() const { return cells_used_; }
+
   /// Run until (m, n) is reached; returns the alignment cost, or nullopt on
   /// a bound. Trivial cases (either side empty) are handled by the callers.
   std::optional<std::uint64_t> run() {
@@ -80,7 +84,7 @@ class WfaEngine {
       wf.set(0, extend(0, 0));
       if (k_final == 0 && wf.at(0) >= m_) return 0;
     }
-    std::uint64_t cells_used = 1;
+    cells_used_ = 1;
 
     for (std::uint64_t s = 1;; ++s) {
       if (max_cost_ != 0 && s > max_cost_) return std::nullopt;
@@ -121,8 +125,8 @@ class WfaEngine {
       iw.resize(lo, hi);
       dw.resize(lo, hi);
       mw.resize(lo, hi);
-      cells_used += 3 * mw.cells();
-      PIMNW_CHECK_MSG(cells_used <= max_cells_,
+      cells_used_ += 3 * mw.cells();
+      PIMNW_CHECK_MSG(cells_used_ <= max_cells_,
                       "WFA exceeded its memory budget (cost " << s << ")");
 
       for (std::int32_t k = lo; k <= hi; ++k) {
@@ -313,6 +317,7 @@ class WfaEngine {
   bool keep_all_;
   std::uint64_t max_cost_;
   std::uint64_t max_cells_;
+  std::uint64_t cells_used_ = 0;
   std::size_t depth_ = 0;
 
   std::vector<Wavefront> m_wfs_;
@@ -359,6 +364,7 @@ std::optional<AlignResult> wfa_align(std::string_view a, std::string_view b,
   result.reached_end = true;
   result.score = engine.to_score(*cost);
   result.cigar = engine.backtrace(*cost);
+  result.cells = engine.cells_used();
   return result;
 }
 

@@ -10,7 +10,7 @@
 
 namespace pimnw::baseline {
 
-CpuBatchReport cpu_align_batch(std::span<const CpuPair> pairs,
+CpuBatchReport cpu_align_batch(std::span<const core::PairInput> pairs,
                                const align::Scoring& scoring,
                                const Ksw2Options& options,
                                std::vector<align::AlignResult>* results,

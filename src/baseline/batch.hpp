@@ -11,13 +11,9 @@
 
 #include "align/result.hpp"
 #include "baseline/ksw2_like.hpp"
+#include "core/types.hpp"
 
 namespace pimnw::baseline {
-
-struct CpuPair {
-  std::string_view a;
-  std::string_view b;
-};
 
 struct CpuBatchReport {
   double wall_seconds = 0.0;      // measured on this machine
@@ -27,8 +23,10 @@ struct CpuBatchReport {
 };
 
 /// Align every pair with `threads` workers (0 = hardware concurrency).
-/// Results (if requested) are indexed like the input.
-CpuBatchReport cpu_align_batch(std::span<const CpuPair> pairs,
+/// Results (if requested) are indexed like the input. Pairs use the shared
+/// core::PairInput type (core/types.hpp) — the old baseline::CpuPair twin
+/// was deduplicated into it (ISSUE 4).
+CpuBatchReport cpu_align_batch(std::span<const core::PairInput> pairs,
                                const align::Scoring& scoring,
                                const Ksw2Options& options,
                                std::vector<align::AlignResult>* results,

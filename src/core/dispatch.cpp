@@ -1,0 +1,225 @@
+#include "core/dispatch.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+#include "util/trace.hpp"
+
+namespace pimnw::core {
+
+const char* route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kSingle:
+      return "single";
+    case RoutePolicy::kLengthThreshold:
+      return "threshold";
+    case RoutePolicy::kCostModel:
+      return "cost";
+  }
+  return "?";
+}
+
+std::optional<RoutePolicy> parse_route_policy(std::string_view name) {
+  if (name == "single") return RoutePolicy::kSingle;
+  if (name == "threshold") return RoutePolicy::kLengthThreshold;
+  if (name == "cost") return RoutePolicy::kCostModel;
+  return std::nullopt;
+}
+
+Dispatcher::Dispatcher(DispatchConfig config,
+                       std::vector<AlignerBackend*> backends)
+    : config_(config), backends_(std::move(backends)) {
+  PIMNW_CHECK_MSG(!backends_.empty(), "dispatcher needs at least one backend");
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    PIMNW_CHECK_MSG(backends_[i] != nullptr, "null backend");
+    for (std::size_t j = i + 1; j < backends_.size(); ++j) {
+      PIMNW_CHECK_MSG(backends_[i]->kind() != backends_[j]->kind(),
+                      "duplicate backend kind "
+                          << backend_kind_name(backends_[i]->kind()));
+    }
+  }
+}
+
+AlignerBackend* Dispatcher::backend(BackendKind kind) const {
+  for (AlignerBackend* b : backends_) {
+    if (b->kind() == kind) return b;
+  }
+  return nullptr;
+}
+
+std::size_t Dispatcher::index_of(BackendKind kind) const {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->kind() == kind) return i;
+  }
+  PIMNW_CHECK_MSG(false, "no registered backend of kind "
+                             << backend_kind_name(kind));
+  return 0;
+}
+
+void Dispatcher::calibrate(std::span<const PairInput> sample,
+                           std::size_t max_probe_pairs) {
+  const std::size_t n = std::min(sample.size(), max_probe_pairs);
+  if (n == 0) return;
+  const std::span<const PairInput> probe = sample.subspan(0, n);
+  for (AlignerBackend* b : backends_) {
+    double estimated = 0.0;
+    for (const PairInput& pair : probe) {
+      estimated += b->estimate_seconds(pair.a.size(), pair.b.size()) /
+                   b->cost_scale();
+    }
+    Stopwatch watch;
+    const AlignerBackend::Ticket ticket = b->submit(probe);
+    (void)b->wait(ticket);
+    const double measured = watch.seconds();
+    if (estimated > 0 && measured > 0) {
+      b->set_cost_scale(measured / estimated);
+    }
+    // Reset accounting so probe runs don't leak into the next align()'s
+    // per-backend reports.
+    (void)b->drain();
+  }
+}
+
+std::vector<std::size_t> Dispatcher::route(
+    std::span<const PairInput> pairs) const {
+  std::vector<std::size_t> target(pairs.size(), 0);
+  switch (config_.policy) {
+    case RoutePolicy::kSingle: {
+      const std::size_t b = index_of(config_.single);
+      std::fill(target.begin(), target.end(), b);
+      break;
+    }
+    case RoutePolicy::kLengthThreshold: {
+      const std::size_t short_b = index_of(config_.short_backend);
+      const std::size_t long_b = index_of(config_.long_backend);
+      for (std::size_t p = 0; p < pairs.size(); ++p) {
+        const std::size_t longest =
+            std::max(pairs[p].a.size(), pairs[p].b.size());
+        target[p] = longest >= config_.length_threshold ? long_b : short_b;
+      }
+      break;
+    }
+    case RoutePolicy::kCostModel: {
+      // Every backend executes on the same host cores (the PiM simulator
+      // burns host CPU like the DP kernels do), so there is no second
+      // machine to balance against: the makespan is simply the total work,
+      // and the optimal route sends each pair to the backend whose
+      // (calibrated) estimate is smallest. The estimates come from the
+      // paper's workload model W(m,n) = (m+n)·w for the banded backends
+      // and the cost-proportional wavefront model for WFA.
+      for (std::size_t p = 0; p < pairs.size(); ++p) {
+        std::size_t best_b = 0;
+        double best_est = -1.0;
+        for (std::size_t b = 0; b < backends_.size(); ++b) {
+          const double est = backends_[b]->estimate_seconds(
+              pairs[p].a.size(), pairs[p].b.size());
+          if (best_est < 0 || est < best_est) {
+            best_est = est;
+            best_b = b;
+          }
+        }
+        target[p] = best_b;
+      }
+      break;
+    }
+  }
+  return target;
+}
+
+DispatchReport Dispatcher::align(std::span<const PairInput> pairs,
+                                 std::vector<PairOutput>* out) {
+  DispatchReport report;
+  report.policy = config_.policy;
+  report.total_pairs = pairs.size();
+  if (out != nullptr) {
+    out->assign(pairs.size(), PairOutput{});
+  }
+
+  Stopwatch watch;
+  const std::vector<std::size_t> target = route(pairs);
+
+  // Contiguous per-backend buckets (submit takes a span) plus the index
+  // lists that undo the permutation at merge time.
+  std::vector<std::vector<PairInput>> bucket(backends_.size());
+  std::vector<std::vector<std::size_t>> origin(backends_.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    bucket[target[p]].push_back(pairs[p]);
+    origin[target[p]].push_back(p);
+  }
+
+  // Submit every bucket first: the host backends' jobs start flowing to the
+  // pool workers immediately. Then wait PiM first — its simulation runs on
+  // this thread while the workers chew the other backends' pairs, which is
+  // the heterogeneous overlap this layer exists for.
+  std::vector<std::optional<AlignerBackend::Ticket>> ticket(backends_.size());
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    if (bucket[b].empty()) continue;
+    PIMNW_TRACE_SPAN(std::string("submit ") +
+                     backend_kind_name(backends_[b]->kind()));
+    ticket[b] = backends_[b]->submit(bucket[b]);
+    report.routed[static_cast<std::size_t>(backends_[b]->kind())] +=
+        bucket[b].size();
+  }
+  std::vector<std::size_t> wait_order;
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    if (ticket[b].has_value() &&
+        backends_[b]->kind() == BackendKind::kPim) {
+      wait_order.push_back(b);
+    }
+  }
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    if (ticket[b].has_value() &&
+        backends_[b]->kind() != BackendKind::kPim) {
+      wait_order.push_back(b);
+    }
+  }
+  for (const std::size_t b : wait_order) {
+    PIMNW_TRACE_SPAN(std::string("wait ") +
+                     backend_kind_name(backends_[b]->kind()));
+    std::vector<PairOutput> outputs = backends_[b]->wait(*ticket[b]);
+    PIMNW_CHECK(outputs.size() == origin[b].size());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].ok) ++report.aligned;
+      if (out != nullptr) {
+        (*out)[origin[b][i]] = std::move(outputs[i]);
+      }
+    }
+  }
+  for (AlignerBackend* b : backends_) {
+    report.backends.push_back(b->drain());
+  }
+  report.wall_seconds = watch.seconds();
+  return report;
+}
+
+void write_dispatch_json(std::ostream& out, const DispatchReport& report) {
+  out << "{\n";
+  out << "  \"policy\": \"" << route_policy_name(report.policy) << "\",\n";
+  out << "  \"wall_seconds\": " << report.wall_seconds << ",\n";
+  out << "  \"total_pairs\": " << report.total_pairs << ",\n";
+  out << "  \"aligned\": " << report.aligned << ",\n";
+  out << "  \"routed\": { ";
+  for (int k = 0; k < 3; ++k) {
+    out << "\"" << backend_kind_name(static_cast<BackendKind>(k))
+        << "\": " << report.routed[static_cast<std::size_t>(k)]
+        << (k + 1 < 3 ? ", " : " ");
+  }
+  out << "},\n";
+  out << "  \"backends\": [\n";
+  for (std::size_t i = 0; i < report.backends.size(); ++i) {
+    const BackendReport& b = report.backends[i];
+    out << "    { \"kind\": \"" << backend_kind_name(b.kind) << "\""
+        << ", \"pairs\": " << b.total_pairs << ", \"aligned\": " << b.aligned
+        << ", \"measured_seconds\": " << b.measured_seconds
+        << ", \"modeled_seconds\": " << b.modeled_seconds
+        << ", \"total_cells\": " << b.total_cells
+        << ", \"cells_per_second\": " << b.cells_per_second << " }"
+        << (i + 1 < report.backends.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace pimnw::core

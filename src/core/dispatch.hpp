@@ -1,0 +1,98 @@
+// Heterogeneous dispatch over AlignerBackends (ISSUE 4, DESIGN.md §11).
+//
+// The Dispatcher routes a batch of pairs across the registered backends,
+// feeds them concurrently (host backends execute on the shared pool while
+// the PiM simulation runs on the calling thread), and merges the outputs
+// back in input order. Three routing policies:
+//
+//  * kSingle          — everything to one backend (the pre-ISSUE-4 world,
+//                       now expressible per call instead of per call-site);
+//  * kLengthThreshold — pairs whose longer sequence reaches a threshold go
+//                       to the long-read backend, the rest to the short one;
+//  * kCostModel       — per-pair cost minimisation on the paper's workload
+//                       model W(m,n) = (m+n)·w (§4.1.2): each pair goes to
+//                       the backend whose calibrated estimate for it is
+//                       smallest. All backends share the host cores (the PiM
+//                       simulator is host compute too), so total estimated
+//                       work — not per-backend load balance — is what the
+//                       wall-clock pays; calibrate() replaces the analytic
+//                       throughput constants with measured ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace pimnw::core {
+
+enum class RoutePolicy { kSingle, kLengthThreshold, kCostModel };
+
+const char* route_policy_name(RoutePolicy policy);
+std::optional<RoutePolicy> parse_route_policy(std::string_view name);
+
+struct DispatchConfig {
+  RoutePolicy policy = RoutePolicy::kSingle;
+  /// kSingle: the backend everything routes to.
+  BackendKind single = BackendKind::kPim;
+  /// kLengthThreshold: pairs with max(|a|, |b|) >= this go to long_backend.
+  std::size_t length_threshold = 5000;
+  BackendKind short_backend = BackendKind::kCpu;
+  BackendKind long_backend = BackendKind::kPim;
+};
+
+/// Outcome of one Dispatcher::align call.
+struct DispatchReport {
+  RoutePolicy policy = RoutePolicy::kSingle;
+  /// End-to-end wall-clock of the dispatch: routing + every backend's
+  /// compute + the in-order merge. The only number the policies are
+  /// compared on (modeled PiM time stays inside its BackendReport).
+  double wall_seconds = 0.0;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t aligned = 0;
+  /// Pairs routed to each BackendKind (indexed by static_cast<int>(kind)).
+  std::array<std::uint64_t, 3> routed{};
+  /// One report per registered backend (in registration order), including
+  /// the ones that received no pairs this call.
+  std::vector<BackendReport> backends;
+};
+
+void write_dispatch_json(std::ostream& out, const DispatchReport& report);
+
+class Dispatcher {
+ public:
+  /// Backends are borrowed (caller keeps ownership) and must outlive the
+  /// dispatcher. At most one backend per BackendKind.
+  Dispatcher(DispatchConfig config, std::vector<AlignerBackend*> backends);
+
+  const DispatchConfig& config() const { return config_; }
+
+  /// The registered backend of `kind`, or nullptr.
+  AlignerBackend* backend(BackendKind kind) const;
+
+  /// Time a probe subset of `sample` on every backend and set each
+  /// backend's cost_scale to measured/estimated, so kCostModel routes on
+  /// observed throughput instead of the analytic constants. Cheap (a few
+  /// pairs per backend); call once per workload shape.
+  void calibrate(std::span<const PairInput> sample,
+                 std::size_t max_probe_pairs = 4);
+
+  /// Route, execute, merge. `out` (when non-null) receives one PairOutput
+  /// per input pair, in input order regardless of routing.
+  DispatchReport align(std::span<const PairInput> pairs,
+                       std::vector<PairOutput>* out);
+
+ private:
+  /// Backend index (into backends_) for each pair, per the policy.
+  std::vector<std::size_t> route(std::span<const PairInput> pairs) const;
+  std::size_t index_of(BackendKind kind) const;  // PIMNW_CHECKs presence
+
+  DispatchConfig config_;
+  std::vector<AlignerBackend*> backends_;
+};
+
+}  // namespace pimnw::core

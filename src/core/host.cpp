@@ -45,39 +45,26 @@ PimAligner::PimAligner(PimAlignerConfig config) : config_(std::move(config)) {
                   "batch window must be at least 1");
 }
 
-RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
+/// The single batched run path (ISSUE 4). Every public mode reduces to:
+/// slice the work into rank-batches (spec.assign), expand each DPU bin's
+/// units into a serialized plan (spec.emit), hand the batches to the
+/// execution engine, and re-check the flat output in verify mode
+/// (spec.pair_of). An empty run never touches the engine, so every ratio
+/// field of the report stays exactly 0 (no 0/0 NaN).
+RunReport PimAligner::run_batches(const RunSpec& spec,
                                   std::vector<PairOutput>* out) {
   RunReport report;
-  report.total_pairs = pairs.size();
-  if (out != nullptr) {
-    out->assign(pairs.size(), PairOutput{});
-  }
-  if (pairs.empty()) return report;
+  report.total_pairs = spec.total_pairs;
+  if (spec.n_batches == 0 || spec.total_pairs == 0) return report;
 
   ExecEngine engine(config_, host_cost_);
+  if (spec.prologue) spec.prologue(engine);
 
-  const std::size_t batch_pairs =
-      config_.batch_pairs != 0
-          ? config_.batch_pairs
-          : static_cast<std::size_t>(upmem::kDpusPerRank) *
-                static_cast<std::size_t>(config_.pool.pools) * 2;
-
-  auto build_batch = [&](std::size_t batch_index) -> PreparedBatch {
-    const std::size_t batch_start = batch_index * batch_pairs;
-    const std::size_t batch_end =
-        std::min(pairs.size(), batch_start + batch_pairs);
-
-    // Workload-model-driven LPT across the DPUs of the rank (§4.1.2).
-    std::vector<WorkItem> items;
-    items.reserve(batch_end - batch_start);
-    for (std::size_t p = batch_start; p < batch_end; ++p) {
-      items.push_back(
-          {static_cast<std::uint32_t>(p),
-           pair_workload(pairs[p].a.size(), pairs[p].b.size(),
-                         static_cast<std::uint64_t>(config_.align.band_width))});
-    }
-    Assignment assignment = lpt_assign(std::move(items), upmem::kDpusPerRank);
-
+  auto build_batch = [&spec, this](std::size_t batch_index) -> PreparedBatch {
+    Assignment assignment = spec.assign(batch_index);
+    PIMNW_CHECK_MSG(assignment.bins.size() ==
+                        static_cast<std::size_t>(upmem::kDpusPerRank),
+                    "a batch assignment must cover one bin per DPU");
     PreparedBatch prepared;
     prepared.plans.resize(upmem::kDpusPerRank);
     for (int d = 0; d < upmem::kDpusPerRank; ++d) {
@@ -86,11 +73,14 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
       DpuPlan& plan = prepared.plans[static_cast<std::size_t>(d)];
       SeqInterner interner;
       for (const WorkItem& item : bin) {
-        const PairInput& pair = pairs[item.id];
-        plan.batch.pairs.push_back(
-            {interner.intern(pair.a), interner.intern(pair.b), item.id});
+        spec.emit(item, plan, interner);
       }
-      finalize_plan(plan, interner, config_);
+      if (spec.shared_pool != nullptr) {
+        finalize_plan(plan, interner, config_, spec.pool_offset,
+                      spec.shared_pool);
+      } else {
+        finalize_plan(plan, interner, config_);
+      }
     }
     prepared.imbalance = assignment.imbalance();
     for (std::uint64_t load : assignment.bin_load) {
@@ -99,20 +89,57 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
     return prepared;
   };
 
-  const std::size_t n_batches =
-      (pairs.size() + batch_pairs - 1) / batch_pairs;
-  engine.run(n_batches, build_batch, out);
-
+  engine.run(spec.n_batches, build_batch, out);
   report = engine.finish();
-  report.total_pairs = pairs.size();
+  report.total_pairs = spec.total_pairs;
 
-  if (config_.verify && out != nullptr) {
-    for (std::size_t p = 0; p < pairs.size(); ++p) {
-      verify_against_reference((*out)[p], pairs[p].a, pairs[p].b,
-                               config_.align);
+  if (config_.verify && out != nullptr && spec.pair_of) {
+    for (std::size_t p = 0; p < out->size(); ++p) {
+      const PairInput pair = spec.pair_of(static_cast<std::uint32_t>(p));
+      verify_against_reference((*out)[p], pair.a, pair.b, config_.align);
     }
   }
   return report;
+}
+
+RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
+                                  std::vector<PairOutput>* out) {
+  if (out != nullptr) {
+    out->assign(pairs.size(), PairOutput{});
+  }
+
+  const std::size_t batch_pairs =
+      config_.batch_pairs != 0
+          ? config_.batch_pairs
+          : static_cast<std::size_t>(upmem::kDpusPerRank) *
+                static_cast<std::size_t>(config_.pool.pools) * 2;
+
+  RunSpec spec;
+  spec.total_pairs = pairs.size();
+  spec.n_batches = (pairs.size() + batch_pairs - 1) / batch_pairs;
+  // Workload-model-driven LPT across the DPUs of the rank (§4.1.2).
+  spec.assign = [this, pairs, batch_pairs](std::size_t batch_index) {
+    const std::size_t batch_start = batch_index * batch_pairs;
+    const std::size_t batch_end =
+        std::min(pairs.size(), batch_start + batch_pairs);
+    std::vector<WorkItem> items;
+    items.reserve(batch_end - batch_start);
+    for (std::size_t p = batch_start; p < batch_end; ++p) {
+      items.push_back(
+          {static_cast<std::uint32_t>(p),
+           pair_workload(pairs[p].a.size(), pairs[p].b.size(),
+                         static_cast<std::uint64_t>(config_.align.band_width))});
+    }
+    return lpt_assign(std::move(items), upmem::kDpusPerRank);
+  };
+  spec.emit = [pairs](const WorkItem& item, DpuPlan& plan,
+                      SeqInterner& interner) {
+    const PairInput& pair = pairs[item.id];
+    plan.batch.pairs.push_back(
+        {interner.intern(pair.a), interner.intern(pair.b), item.id});
+  };
+  spec.pair_of = [pairs](std::uint32_t id) { return pairs[id]; };
+  return run_batches(spec, out);
 }
 
 RunReport PimAligner::align_sets(
@@ -140,8 +167,6 @@ RunReport PimAligner::align_sets(
     }
   }
 
-  RunReport report;
-  report.total_pairs = flat.size();
   if (out != nullptr) {
     out->resize(sets.size());
     for (std::size_t s = 0; s < sets.size(); ++s) {
@@ -149,71 +174,48 @@ RunReport PimAligner::align_sets(
       (*out)[s].assign(k * (k - 1) / 2, PairOutput{});
     }
   }
-  if (flat.empty()) return report;
   std::vector<PairOutput> flat_out(flat.size());
 
-  ExecEngine engine(config_, host_cost_);
-
-  // Batch granularity: whole sets, several per DPU of a rank.
+  // Batch granularity: whole sets, several per DPU of a rank, LPT over the
+  // sets' summed workloads (§5.4: "the distribution of sets to the DPUs
+  // follows the systematic approach of load balancing described in 4.1").
   const std::size_t batch_sets = std::max<std::size_t>(
       upmem::kDpusPerRank,
       config_.batch_pairs != 0
           ? config_.batch_pairs
           : static_cast<std::size_t>(upmem::kDpusPerRank) * 2);
 
-  auto build_batch = [&](std::size_t batch_index) -> PreparedBatch {
+  RunSpec spec;
+  spec.total_pairs = flat.size();
+  spec.n_batches = (sets.size() + batch_sets - 1) / batch_sets;
+  spec.assign = [&set_workload, &sets, batch_sets](std::size_t batch_index) {
     const std::size_t batch_start = batch_index * batch_sets;
     const std::size_t batch_end =
         std::min(sets.size(), batch_start + batch_sets);
-
-    // LPT over sets (§5.4: "the distribution of sets to the DPUs follows
-    // the systematic approach of load balancing described in 4.1").
     std::vector<WorkItem> items;
     for (std::size_t s = batch_start; s < batch_end; ++s) {
       items.push_back({static_cast<std::uint32_t>(s), set_workload[s]});
     }
-    Assignment assignment = lpt_assign(std::move(items), upmem::kDpusPerRank);
-
-    PreparedBatch prepared;
-    prepared.plans.resize(upmem::kDpusPerRank);
-    for (int d = 0; d < upmem::kDpusPerRank; ++d) {
-      const auto& bin = assignment.bins[static_cast<std::size_t>(d)];
-      if (bin.empty()) continue;
-      DpuPlan& plan = prepared.plans[static_cast<std::size_t>(d)];
-      SeqInterner interner;
-      for (const WorkItem& item : bin) {
-        const std::size_t s = item.id;
-        const auto& set = sets[s];
-        std::size_t local = 0;
-        for (std::size_t i = 0; i < set.size(); ++i) {
-          for (std::size_t j = i + 1; j < set.size(); ++j, ++local) {
-            plan.batch.pairs.push_back(
-                {interner.intern(set[i]), interner.intern(set[j]),
-                 static_cast<std::uint32_t>(set_first_pair[s] + local)});
-          }
-        }
-      }
-      finalize_plan(plan, interner, config_);
-    }
-    prepared.imbalance = assignment.imbalance();
-    for (std::uint64_t load : assignment.bin_load) {
-      prepared.total_workload += load;
-    }
-    return prepared;
+    return lpt_assign(std::move(items), upmem::kDpusPerRank);
   };
-
-  const std::size_t n_batches = (sets.size() + batch_sets - 1) / batch_sets;
-  engine.run(n_batches, build_batch, &flat_out);
-
-  report = engine.finish();
-  report.total_pairs = flat.size();
-
-  if (config_.verify) {
-    for (std::size_t p = 0; p < flat.size(); ++p) {
-      verify_against_reference(flat_out[p], flat[p].a, flat[p].b,
-                               config_.align);
+  spec.emit = [sets, &set_first_pair](const WorkItem& item, DpuPlan& plan,
+                                      SeqInterner& interner) {
+    const std::size_t s = item.id;
+    const auto& set = sets[s];
+    std::size_t local = 0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j, ++local) {
+        plan.batch.pairs.push_back(
+            {interner.intern(set[i]), interner.intern(set[j]),
+             static_cast<std::uint32_t>(set_first_pair[s] + local)});
+      }
     }
-  }
+  };
+  spec.pair_of = [&flat](std::uint32_t id) {
+    return PairInput{flat[id].a, flat[id].b};
+  };
+  RunReport report = run_batches(spec, &flat_out);
+
   if (out != nullptr) {
     for (std::size_t p = 0; p < flat.size(); ++p) {
       const std::uint32_t s = flat[p].set;
@@ -225,18 +227,18 @@ RunReport PimAligner::align_sets(
 
 RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
                                        std::vector<PairOutput>* out) {
-  RunReport report;
   const std::size_t k = seqs.size();
   const std::size_t pair_count = k * (k - 1) / 2;
-  report.total_pairs = pair_count;
   if (out != nullptr) {
     out->assign(pair_count, PairOutput{});
   }
-  if (pair_count == 0) return report;
+  if (pair_count == 0) {
+    RunReport report;
+    return report;
+  }
 
-  ExecEngine engine(config_, host_cost_);
-
-  // Broadcast the packed dataset once (§5.3).
+  // Broadcast the packed dataset once (§5.3); the engine prologue charges
+  // the encode prep and the one-to-all transfer.
   PIMNW_TRACE_SPAN(std::string("encode broadcast pool"));
   std::vector<std::string_view> views(seqs.begin(), seqs.end());
   const SeqPool pool = SeqPool::build(views);
@@ -244,15 +246,13 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
   for (const std::string& s : seqs) {
     prep_seconds += static_cast<double>(s.size()) * host_cost_.per_base_seconds;
   }
-  engine.charge_prep(prep_seconds);
-  engine.set_broadcast(pool.bytes(), kBroadcastPoolOffset);
 
   // Static split of the quadratic pair list over all DPUs; one launch per
   // rank (§5.3's "simple static assignment").
   const int total_dpus = config_.nr_ranks * upmem::kDpusPerRank;
   const auto ranges = static_split(pair_count, total_dpus);
 
-  auto pair_of_linear = [&](std::uint64_t linear) {
+  auto pair_of_linear = [k](std::uint64_t linear) {
     std::size_t i = 0;
     std::uint64_t skip = 0;
     while (skip + (k - 1 - i) <= linear) {
@@ -263,55 +263,48 @@ RunReport PimAligner::align_all_vs_all(std::span<const std::string> seqs,
     return std::make_pair(i, j);
   };
 
-  auto build_batch = [&](std::size_t batch_index) -> PreparedBatch {
+  RunSpec spec;
+  spec.total_pairs = pair_count;
+  spec.n_batches = static_cast<std::size_t>(config_.nr_ranks);
+  spec.shared_pool = &pool;
+  spec.pool_offset = kBroadcastPoolOffset;
+  spec.prologue = [&pool, prep_seconds](ExecEngine& engine) {
+    engine.charge_prep(prep_seconds);
+    engine.set_broadcast(pool.bytes(), kBroadcastPoolOffset);
+  };
+  spec.assign = [this, &ranges, &seqs, pair_of_linear](
+                    std::size_t batch_index) {
     const int r = static_cast<int>(batch_index);
-    PreparedBatch prepared;
-    prepared.plans.resize(upmem::kDpusPerRank);
-    std::uint64_t max_load = 0;
-    std::uint64_t total_load = 0;
+    Assignment assignment;
+    assignment.bins.resize(upmem::kDpusPerRank);
+    assignment.bin_load.assign(upmem::kDpusPerRank, 0);
     for (int d = 0; d < upmem::kDpusPerRank; ++d) {
       const auto [first, last] =
           ranges[static_cast<std::size_t>(r * upmem::kDpusPerRank + d)];
-      if (first >= last) continue;
-      DpuPlan& plan = prepared.plans[static_cast<std::size_t>(d)];
-      std::uint64_t load = 0;
       for (std::uint64_t linear = first; linear < last; ++linear) {
         const auto [i, j] = pair_of_linear(linear);
-        plan.batch.pairs.push_back({static_cast<std::uint32_t>(i),
-                                    static_cast<std::uint32_t>(j),
-                                    static_cast<std::uint32_t>(linear)});
-        load += pair_workload(seqs[i].size(), seqs[j].size(),
-                              static_cast<std::uint64_t>(
-                                  config_.align.band_width));
+        const std::uint64_t load = pair_workload(
+            seqs[i].size(), seqs[j].size(),
+            static_cast<std::uint64_t>(config_.align.band_width));
+        assignment.bins[static_cast<std::size_t>(d)].push_back(
+            {static_cast<std::uint32_t>(linear), load});
+        assignment.bin_load[static_cast<std::size_t>(d)] += load;
       }
-      max_load = std::max(max_load, load);
-      total_load += load;
-      SeqInterner unused;
-      finalize_plan(plan, unused, config_, kBroadcastPoolOffset, &pool);
     }
-    if (total_load > 0) {
-      const double mean =
-          static_cast<double>(total_load) / upmem::kDpusPerRank;
-      prepared.imbalance = static_cast<double>(max_load) / mean;
-    }
-    prepared.total_workload = total_load;
-    return prepared;
+    return assignment;
   };
-
-  engine.run(static_cast<std::size_t>(config_.nr_ranks), build_batch, out);
-
-  report = engine.finish();
-  report.total_pairs = pair_count;
-
-  if (config_.verify && out != nullptr) {
-    for (std::size_t i = 0; i < k; ++i) {
-      for (std::size_t j = i + 1; j < k; ++j) {
-        verify_against_reference((*out)[linear_pair_index(i, j, k)],
-                                 seqs[i], seqs[j], config_.align);
-      }
-    }
-  }
-  return report;
+  spec.emit = [pair_of_linear](const WorkItem& item, DpuPlan& plan,
+                               SeqInterner& interner) {
+    (void)interner;  // pool-id mode: sequences live in the broadcast pool
+    const auto [i, j] = pair_of_linear(item.id);
+    plan.batch.pairs.push_back({static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(j), item.id});
+  };
+  spec.pair_of = [&seqs, pair_of_linear](std::uint32_t id) {
+    const auto [i, j] = pair_of_linear(id);
+    return PairInput{seqs[i], seqs[j]};
+  };
+  return run_batches(spec, out);
 }
 
 std::size_t PimAligner::linear_pair_index(std::size_t i, std::size_t j,

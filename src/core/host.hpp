@@ -18,28 +18,22 @@
 #include <string_view>
 #include <vector>
 
+#include <functional>
+
 #include "align/result.hpp"
 #include "core/dpu_cost.hpp"
 #include "core/params.hpp"
+#include "core/types.hpp"
 #include "upmem/system.hpp"
 
 namespace pimnw::core {
 
-struct PairInput {
-  std::string_view a;
-  std::string_view b;
-};
-
-struct PairOutput {
-  align::Score score = align::kNegInf;
-  bool ok = false;  // false when the band never reached (m, n)
-  dna::Cigar cigar;
-  /// Pool-critical-path DPU cycles this pair cost (from the kernel's cost
-  /// accounting) and its DPU-internal DMA traffic — inputs to the
-  /// scale-out projection (core/projection.hpp).
-  std::uint64_t dpu_pool_cycles = 0;
-  std::uint32_t dpu_dma_bytes = 0;
-};
+class ExecEngine;
+struct Assignment;
+struct WorkItem;
+struct DpuPlan;
+class SeqInterner;
+class SeqPool;
 
 /// Everything the benches need to reproduce the paper's measurements.
 struct RunReport {
@@ -95,6 +89,34 @@ class PimAligner {
                                        std::size_t count);
 
  private:
+  /// The one batched run path all three public modes share (ISSUE 4): a run
+  /// is `n_batches` rank-batches, each described by an Assignment of work
+  /// units to the 64 DPUs; `emit` expands one unit into its pairs inside a
+  /// DPU plan. Differences between the modes reduce to the closures plus an
+  /// optional shared sequence pool (the all-vs-all broadcast).
+  struct RunSpec {
+    std::size_t n_batches = 0;
+    std::uint64_t total_pairs = 0;
+    /// Bins of batch b (LPT for pairs/sets, contiguous static split for
+    /// all-vs-all). Must be thread-safe: the pipelined engine builds several
+    /// batches concurrently.
+    std::function<Assignment(std::size_t)> assign;
+    /// Append unit `item`'s pairs to `plan`, interning their sequences (or
+    /// referencing `shared_pool` ids when broadcasting).
+    std::function<void(const WorkItem&, DpuPlan&, SeqInterner&)> emit;
+    /// Broadcast pool (all-vs-all): plans reference pool sequence ids and
+    /// the image is laid out against `pool_offset`.
+    const SeqPool* shared_pool = nullptr;
+    std::uint64_t pool_offset = 0;
+    /// Run once before the first batch (broadcast transfer + its prep).
+    std::function<void(ExecEngine&)> prologue;
+    /// The (a, b) views of flat-output slot `global_id` — the shared
+    /// verify-mode loop re-aligns every slot through this.
+    std::function<PairInput(std::uint32_t)> pair_of;
+  };
+
+  RunReport run_batches(const RunSpec& spec, std::vector<PairOutput>* out);
+
   PimAlignerConfig config_;
   HostCost host_cost_ = kDefaultHostCost;
 };

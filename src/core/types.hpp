@@ -1,0 +1,44 @@
+// Pair and result types shared by every aligner front door (ISSUE 4).
+//
+// Before the backend layer, core::PairInput and baseline::CpuPair were
+// copy-pasted twins, and each front door had its own result struct. These
+// are the single definitions now: the PiM host (core/host.hpp), the CPU
+// baseline (baseline/batch.hpp), the backend layer (core/backend.hpp) and
+// the dispatcher (core/dispatch.hpp) all consume and produce them.
+//
+// Header-only on purpose: baseline/ includes it without linking pimnw_core,
+// so the library dependency graph stays acyclic (core links baseline, not
+// the other way around).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "align/result.hpp"
+
+namespace pimnw::core {
+
+/// One alignment job: two sequences, borrowed from the caller (views must
+/// outlive the run they are submitted to).
+struct PairInput {
+  std::string_view a;
+  std::string_view b;
+};
+
+/// Unified per-pair result across backends.
+struct PairOutput {
+  align::Score score = align::kNegInf;
+  bool ok = false;  // false when the band / cost bound never reached (m, n)
+  dna::Cigar cigar;
+  /// Pool-critical-path DPU cycles this pair cost (from the kernel's cost
+  /// accounting) and its DPU-internal DMA traffic — inputs to the
+  /// scale-out projection (core/projection.hpp). Zero for host backends.
+  std::uint64_t dpu_pool_cycles = 0;
+  std::uint32_t dpu_dma_bytes = 0;
+  /// DP cells (or WFA wavefront cells) actually computed on the host —
+  /// the measured-throughput denominator. Zero for the modeled PiM path,
+  /// whose workload lives in the RunReport instead.
+  std::uint64_t cells = 0;
+};
+
+}  // namespace pimnw::core

@@ -78,7 +78,7 @@ TEST(Ksw2Test, RejectsNonAcgt) {
 TEST(CpuBatchTest, AlignsAllPairsOnMultipleThreads) {
   Xoshiro256 rng(4);
   std::vector<std::pair<std::string, std::string>> storage;
-  std::vector<CpuPair> pairs;
+  std::vector<core::PairInput> pairs;
   for (int p = 0; p < 50; ++p) {
     std::string a = testing::random_dna(rng, 150);
     std::string b = testing::mutate(rng, a, 0.1);

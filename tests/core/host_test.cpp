@@ -2,6 +2,8 @@
 // verify mode, batching behaviour, report bookkeeping.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "align/banded_adaptive.hpp"
 #include "core/host.hpp"
 #include "data/pacbio.hpp"
@@ -165,6 +167,43 @@ TEST(HostReportTest, TransfersAndPrepAccounted) {
   EXPECT_GT(report.host_prep_seconds, 0.0);
   EXPECT_GE(report.host_overhead_fraction, 0.0);
   EXPECT_LE(report.host_overhead_fraction, 1.0);
+}
+
+// ISSUE 4 regression: empty inputs must yield all-zero reports, never 0/0
+// NaNs in the ratio fields, across all three front doors.
+TEST(HostReportTest, EmptyInputsProduceZeroedReportsNotNan) {
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+
+  auto expect_clean = [](const RunReport& report) {
+    EXPECT_EQ(report.total_pairs, 0u);
+    EXPECT_EQ(report.batches, 0u);
+    EXPECT_EQ(report.makespan_seconds, 0.0);
+    EXPECT_FALSE(std::isnan(report.host_overhead_fraction));
+    EXPECT_FALSE(std::isnan(report.mean_pipeline_utilization));
+    EXPECT_FALSE(std::isnan(report.mean_mram_overhead));
+    EXPECT_FALSE(std::isnan(report.load_imbalance));
+    EXPECT_EQ(report.host_overhead_fraction, 0.0);
+    EXPECT_EQ(report.mean_pipeline_utilization, 0.0);
+    EXPECT_EQ(report.load_imbalance, 0.0);
+  };
+
+  std::vector<PairOutput> out{PairOutput{}};  // must come back empty
+  expect_clean(PimAligner(config).align_pairs({}, &out));
+  EXPECT_TRUE(out.empty());
+
+  expect_clean(PimAligner(config).align_all_vs_all({}, &out));
+  const std::vector<std::string> one_seq{"ACGTACGT"};
+  expect_clean(PimAligner(config).align_all_vs_all(one_seq, &out));
+
+  std::vector<std::vector<PairOutput>> set_out;
+  expect_clean(PimAligner(config).align_sets({}, &set_out));
+  // Singleton sets flatten to zero pairs but must still size the output.
+  const std::vector<std::vector<std::string>> singletons{{"ACGT"}, {"TTGA"}};
+  expect_clean(PimAligner(config).align_sets(singletons, &set_out));
+  ASSERT_EQ(set_out.size(), 2u);
+  EXPECT_TRUE(set_out[0].empty());
+  EXPECT_TRUE(set_out[1].empty());
 }
 
 }  // namespace

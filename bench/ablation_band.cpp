@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   cli.flag("sets", std::int64_t{3}, "scaled PacBio set count");
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
 
   data::PacbioConfig data_config;
   data_config.set_count = static_cast<std::size_t>(

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
           "2-bit packed vs raw ASCII host->MRAM transfers");
   bench::add_common_flags(cli);
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double scale = cli.get_double("scale");
 

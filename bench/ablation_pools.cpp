@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   cli.flag("pairs", std::int64_t{800}, "scaled pair count");
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
 
   data::SyntheticConfig data_config = data::s1000_config(
       static_cast<std::size_t>(static_cast<double>(cli.get_int("pairs")) *

@@ -26,6 +26,8 @@
 #include "data/mutate.hpp"
 #include "data/synthetic.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/provenance.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -137,7 +139,15 @@ int main(int argc, char** argv) {
   cli.flag("reps", std::int64_t{3}, "repetitions (best-of)");
   cli.flag("seed", std::int64_t{11}, "dataset seed");
   cli.flag("out", std::string("BENCH_backend.json"), "output JSON path");
+  cli.flag("log-level", std::string("info"),
+           "stderr log level: debug | info | warn | error");
   cli.parse(argc, argv);
+
+  if (!set_log_level_by_name(cli.get_string("log-level"))) {
+    std::fprintf(stderr, "unknown --log-level %s\n",
+                 cli.get_string("log-level").c_str());
+    return 1;
+  }
 
   auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   if (threads == 0) {
@@ -205,6 +215,7 @@ int main(int argc, char** argv) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"threads\": " << threads << ",\n";
+  out << "  \"provenance\": " << provenance_json() << ",\n";
   out << "  \"short_pairs\": " << w.short_reads.pairs.size() << ",\n";
   out << "  \"long_pairs\": " << w.long_reads.pairs.size() << ",\n";
   out << "  \"cost_beats_all_singles\": "

@@ -1,5 +1,6 @@
 #include "common/bench_common.hpp"
 
+#include <cstdlib>
 #include <iostream>
 
 #include "baseline/batch.hpp"
@@ -7,6 +8,7 @@
 #include "core/mram_layout.hpp"
 #include "dna/packed_sequence.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace pimnw::bench {
@@ -166,6 +168,16 @@ void add_common_flags(Cli& cli) {
   cli.flag("scale", 1.0,
            "multiply the scaled-down pair counts (1.0 = defaults sized for "
            "a ~1 minute run)");
+  cli.flag("log-level", std::string("info"),
+           "stderr log level: debug | info | warn | error");
+}
+
+void apply_common_flags(const Cli& cli) {
+  const std::string level = cli.get_string("log-level");
+  if (!set_log_level_by_name(level)) {
+    std::cerr << "unknown --log-level " << level << "\n";
+    std::exit(1);
+  }
 }
 
 }  // namespace pimnw::bench

@@ -85,4 +85,9 @@ void run_runtime_table(const RuntimeTableSpec& spec, const PairList& pairs);
 /// Register the flags shared by the runtime-table benches.
 void add_common_flags(Cli& cli);
 
+/// Apply the parsed common flags' side effects (currently the stderr
+/// --log-level). Call right after cli.parse(); exits with an error on an
+/// unknown level name.
+void apply_common_flags(const Cli& cli);
+
 }  // namespace pimnw::bench

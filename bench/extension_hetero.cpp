@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   cli.flag("pairs", std::int64_t{60}, "scaled pair count (10 kb reads)");
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
 
   const data::PairDataset dataset = data::generate_synthetic(
       data::s10000_config(static_cast<std::size_t>(

@@ -18,6 +18,8 @@
 #include "core/stats.hpp"
 #include "data/synthetic.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/provenance.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -204,7 +206,15 @@ int main(int argc, char** argv) {
            "pim | cpu | wfa");
   cli.flag("policy", std::string("single"),
            "routing policy of the dispatched pass: single | threshold | cost");
+  cli.flag("log-level", std::string("info"),
+           "stderr log level: debug | info | warn | error");
   cli.parse(argc, argv);
+
+  if (!set_log_level_by_name(cli.get_string("log-level"))) {
+    std::fprintf(stderr, "unknown --log-level %s\n",
+                 cli.get_string("log-level").c_str());
+    return 1;
+  }
 
   const auto backend_kind = core::parse_backend_kind(cli.get_string("backend"));
   const auto policy = core::parse_route_policy(cli.get_string("policy"));
@@ -240,6 +250,13 @@ int main(int argc, char** argv) {
       << ",\n";
   out << "  \"batch_window\": " << core::PimAlignerConfig{}.batch_window
       << ",\n";
+  {
+    // Same modeled configuration the workloads ran (2 ranks, defaults).
+    core::PimAlignerConfig proto;
+    proto.nr_ranks = 2;
+    out << "  \"provenance\": " << provenance_json(core::params_json(proto))
+        << ",\n";
+  }
   out << "  \"dispatch_backend\": \"" << core::backend_kind_name(*backend_kind)
       << "\",\n";
   out << "  \"dispatch_policy\": \"" << core::route_policy_name(*policy)

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   cli.flag("pairs", std::int64_t{400}, "scaled pair count (paper: 10M)");
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
 
   const auto count = static_cast<std::size_t>(
       static_cast<double>(cli.get_int("pairs")) * cli.get_double("scale"));

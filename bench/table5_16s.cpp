@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cli.flag("species", std::int64_t{48},
            "scaled sequence count (paper: 9557)");
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
 
   data::Phylo16sConfig data_config;
   data_config.species = static_cast<std::size_t>(

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   Cli cli("table7_asm", "Table 7: asm-optimised vs pure-C DPU kernels");
   bench::add_common_flags(cli);
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
   const double scale = cli.get_double("scale");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   auto scaled = [scale](std::int64_t n) {

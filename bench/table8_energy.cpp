@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
           "Table 8: energy per run (kJ) on the real datasets, 40 ranks");
   bench::add_common_flags(cli);
   cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double scale = cli.get_double("scale");
 

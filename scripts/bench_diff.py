@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare a freshly produced BENCH_*.json against the committed baseline.
+
+The regression gate of scripts/verify.sh --bench (DESIGN.md §12): every
+numeric leaf of the fresh report is compared against the same leaf of the
+baseline, direction-aware —
+
+  * keys containing "seconds"                       lower is better
+  * keys containing "per_second"/"gcups"/"speedup"  higher is better
+  * anything else                                   informational only
+
+A leaf regresses when it is worse than the baseline by more than
+--tolerance (relative). Wall-clock benches are noisy, so the default
+tolerance is deliberately loose (20%); the gate exists to catch real
+regressions (the injected-regression check in verify.sh uses the same
+mechanism), not 2% jitter.
+
+The "provenance" subtree (git SHA, build type, timestamp, params snapshot)
+is skipped entirely: stamps differ on every run by design.
+
+Exit status: 0 when no leaf regressed, 1 on regression or structural
+mismatch (a numeric leaf present in the baseline but missing from the fresh
+report), 2 on usage/IO errors.
+
+Usage:
+  scripts/bench_diff.py BASELINE FRESH [--tolerance 0.20] [--update]
+
+--update rewrites BASELINE with FRESH's content after the comparison report
+(whatever the verdict) — the re-baselining workflow.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+SKIP_KEYS = {"provenance"}
+LOWER_BETTER = ("seconds",)
+HIGHER_BETTER = ("per_second", "gcups", "speedup")
+
+
+def direction(key):
+    """-1: lower is better, +1: higher is better, 0: informational."""
+    k = key.lower()
+    if any(s in k for s in HIGHER_BETTER):
+        return 1
+    if any(s in k for s in LOWER_BETTER):
+        return -1
+    return 0
+
+
+def numeric_leaves(node, path=""):
+    """Yield (dotted_path, leaf_key, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in SKIP_KEYS:
+                continue
+            yield from numeric_leaves(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from numeric_leaves(value, f"{path}[{i}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, path.rsplit(".", 1)[-1], float(node)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="direction-aware BENCH_*.json regression diff")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative regression tolerance (default 0.20)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite BASELINE with FRESH afterwards")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    fresh_leaves = {p: v for p, _, v in numeric_leaves(fresh)}
+    regressions = []
+    improvements = []
+    missing = []
+    for path, key, base in numeric_leaves(baseline):
+        if path not in fresh_leaves:
+            missing.append(path)
+            continue
+        new = fresh_leaves[path]
+        d = direction(key)
+        if d == 0 or base == 0:
+            continue
+        # Positive delta = worse, in either direction convention.
+        delta = (base - new) / base if d > 0 else (new - base) / base
+        line = (f"  {path}: {base:g} -> {new:g} "
+                f"({'-' if delta > 0 else '+'}{abs(delta) * 100:.1f}% "
+                f"{'worse' if delta > 0 else 'better'})")
+        if delta > args.tolerance:
+            regressions.append(line)
+        elif delta < -args.tolerance:
+            improvements.append(line)
+
+    print(f"bench_diff: {args.fresh} vs {args.baseline} "
+          f"(tolerance {args.tolerance * 100:.0f}%)")
+    if improvements:
+        print("improvements beyond tolerance:")
+        print("\n".join(improvements))
+    if missing:
+        print("baseline leaves missing from the fresh report:")
+        print("\n".join(f"  {p}" for p in missing))
+    if regressions:
+        print("REGRESSIONS:")
+        print("\n".join(regressions))
+    if not (regressions or missing):
+        print("no regressions")
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"bench_diff: updated {args.baseline}")
+
+    return 1 if (regressions or missing) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,20 +10,33 @@
 # observability layer (util/trace, core/stats) is exercised under every
 # sanitizer even if the preset's default filter would skip part of it.
 #
+# Each preset also runs the "prof" ctest label (the cycle-attribution
+# profiler of DESIGN.md §12), and the default preset smoke-runs the
+# pimnw_prof example.
+#
 # A --tidy flag adds a clang-tidy pass (the .clang-tidy profile) over the
 # core orchestration and simulator sources; it is skipped with a notice when
 # clang-tidy is not installed, so the stage is safe to request everywhere.
 #
-# Usage: scripts/verify.sh [--tidy] [preset ...]   (default: default asan tsan)
+# A --bench flag adds the benchmark regression gate: re-run the
+# BENCH_kernel.json producer (micro_kernels, timing emitter only) into a
+# temporary directory and compare against the committed baseline with
+# scripts/bench_diff.py (direction-aware, 20% tolerance).
+#
+# Usage: scripts/verify.sh [--tidy] [--bench] [preset ...]
+#        (default presets: default asan tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_TIDY=0
+RUN_BENCH=0
 PRESETS=()
 for arg in "$@"; do
   if [ "$arg" = "--tidy" ]; then
     RUN_TIDY=1
+  elif [ "$arg" = "--bench" ]; then
+    RUN_BENCH=1
   else
     PRESETS+=("$arg")
   fi
@@ -52,9 +65,30 @@ for preset in "${PRESETS[@]}"; do
   cmake --build --preset "$preset" -j "$JOBS"
   echo "=== [$preset] ctest"
   ctest --preset "$preset" -j "$JOBS" --output-on-failure
+  BUILD_DIR="build$([ "$preset" = default ] || echo "-$preset")"
   echo "=== [$preset] ctest -L trace"
-  ctest --test-dir "build$([ "$preset" = default ] || echo "-$preset")" \
-        -L trace -j "$JOBS" --output-on-failure
+  ctest --test-dir "$BUILD_DIR" -L trace -j "$JOBS" --output-on-failure
+  echo "=== [$preset] ctest -L prof"
+  ctest --test-dir "$BUILD_DIR" -L prof -j "$JOBS" --output-on-failure
+  if [ "$preset" = default ]; then
+    echo "=== [$preset] pimnw_prof smoke"
+    "$BUILD_DIR/examples/pimnw_prof" --pairs 96 --length 300 >/dev/null
+  fi
 done
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+  echo "=== [bench] rebuild micro_kernels (default preset)"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target micro_kernels
+  BENCH_TMP=$(mktemp -d)
+  trap 'rm -rf "$BENCH_TMP"' EXIT
+  echo "=== [bench] regenerate BENCH_kernel.json (timing emitter only)"
+  ROOT=$(pwd)
+  (cd "$BENCH_TMP" && "$ROOT/build/bench/micro_kernels" \
+      --benchmark_filter='^$' >/dev/null)
+  echo "=== [bench] diff vs committed baseline"
+  python3 scripts/bench_diff.py BENCH_kernel.json \
+      "$BENCH_TMP/BENCH_kernel.json"
+fi
 
 echo "verify.sh: all presets green (${PRESETS[*]})"

@@ -70,6 +70,18 @@ void dma_write_chunked(DpuContext& ctx, upmem::PoolCost& pool,
   }
 }
 
+/// Charge (without moving) the DMA cost of a chunked transfer — the modeled
+/// extra BT streaming passes of bt_stream_passes re-cross the MRAM port with
+/// bytes already written by the first pass, so only the accounting changes.
+void charge_dma_chunked(upmem::PoolCost& pool, std::uint64_t bytes) {
+  while (bytes > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(bytes,
+                                                        upmem::kDmaMaxBytes);
+    pool.dma(chunk);
+    bytes -= chunk;
+  }
+}
+
 /// Sliding 2-bit-packed window over a sequence stored in MRAM.
 /// Monotonically advancing; refills itself (and charges the DMA) on demand.
 class SeqWindow {
@@ -111,9 +123,10 @@ class SeqWindow {
     const std::uint64_t read_bytes =
         std::min(want_bytes, seq_bytes - start_byte);
     PIMNW_CHECK_MSG(read_bytes >= upmem::kDmaMinBytes,
-                    "sequence window refill degenerated to " << read_bytes
-                                                             << " bytes");
+                    "sequence window refill degenerated: bytes=" << read_bytes);
     // Chunked: wide bands can push the window past one DMA's 2048 bytes.
+    // Window refills are part of the setup/2-bit-decode phase (§4.1.1).
+    pool_->set_phase(upmem::Phase::kSetup);
     std::uint64_t done = 0;
     while (done < read_bytes) {
       const std::uint64_t chunk =
@@ -235,6 +248,7 @@ struct Batch {
                      std::uint32_t index) const {
     SeqEntry entry;
     const std::uint64_t addr = header.seq_table_off + index * sizeof(SeqEntry);
+    pool.set_phase(upmem::Phase::kSetup);
     ctx.mram_read(addr, scratch_, sizeof(SeqEntry));
     pool.dma(sizeof(SeqEntry));
     std::memcpy(&entry, ctx.wram.raw(scratch_, sizeof(SeqEntry)),
@@ -247,6 +261,7 @@ struct Batch {
     PairEntry entry;
     const std::uint64_t addr =
         header.pair_table_off + index * sizeof(PairEntry);
+    pool.set_phase(upmem::Phase::kSetup);
     ctx.mram_read(addr, scratch_, sizeof(PairEntry));
     pool.dma(sizeof(PairEntry));
     std::memcpy(&entry, ctx.wram.raw(scratch_, sizeof(PairEntry)),
@@ -262,7 +277,7 @@ class PairAligner {
  public:
   PairAligner(DpuContext& ctx, upmem::PoolCost& pool, PoolBuffers& buffers,
               const Batch& batch, const KernelCost& cost, int tasklets,
-              int pool_index, SimPath sim_path)
+              int pool_index, SimPath sim_path, int bt_stream_passes)
       : ctx_(ctx),
         pool_(pool),
         buf_(buffers),
@@ -271,7 +286,8 @@ class PairAligner {
         tasklets_(tasklets),
         pool_index_(pool_index),
         fast_path_(sim_path != SimPath::kScalar),
-        use_avx2_(sim_path == SimPath::kAuto && simd::avx2_available()) {}
+        use_avx2_(sim_path == SimPath::kAuto && simd::avx2_available()),
+        bt_passes_(bt_stream_passes) {}
 
   void align(const PairEntry& pair, std::uint32_t pair_index);
 
@@ -311,6 +327,7 @@ class PairAligner {
   int pool_index_;
   bool fast_path_;
   bool use_avx2_;
+  int bt_passes_;  // modeled BT streaming passes (>= 1)
 
   // Band state after compute_band().
   bool traceback_on_ = false;
@@ -341,6 +358,7 @@ std::uint64_t PairAligner::pool_cycles_now() const {
 void PairAligner::align(const PairEntry& pair, std::uint32_t pair_index) {
   const std::uint64_t cycles_before = pool_cycles_now();
   const std::uint64_t dma_before = pool_.dma_bytes();
+  pool_.set_phase(upmem::Phase::kSetup);
   pool_.serial(cost_.pair_setup_instr);
 
   const SeqEntry sa = batch_.seq_entry(ctx_, pool_, pair.seq_a);
@@ -389,6 +407,7 @@ void PairAligner::align(const PairEntry& pair, std::uint32_t pair_index) {
       emit_run(pair, it->op, it->len);
     }
     flush_runs(pair, true);
+    pool_.set_phase(upmem::Phase::kTraceback);
     pool_.serial(cost_.traceback_op_instr * cigar.columns());
     result.cigar_runs = cigar_overflow_
                             ? 0
@@ -421,6 +440,7 @@ void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
     if (traceback_on_) {
       buf_.lo_buf[lo_staged_++] = static_cast<std::uint32_t>(lo);
       if (lo_staged_ == kLoChunk) {
+        pool_.set_phase(upmem::Phase::kBtDma);
         ctx_.mram_write(buf_.lo_buf_addr, lo_area() + lo_flushed_ * 4,
                         lo_staged_ * 4);
         pool_.dma(lo_staged_ * 4);
@@ -460,17 +480,25 @@ void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
 
     // Charge the anti-diagonal: w cells split across the pool's tasklets,
     // master bookkeeping, and the pool barrier.
+    pool_.set_phase(upmem::Phase::kCompute);
     pool_.balanced_step(static_cast<std::uint64_t>(w) * cell_instr, tasklets_);
     pool_.balanced_step(
         static_cast<std::uint64_t>(cost_.barrier_instr) *
             static_cast<std::uint64_t>(tasklets_),
         tasklets_);
+    pool_.set_phase(upmem::Phase::kBandShift);
     pool_.serial(cost_.antidiag_master_instr);
 
     if (traceback_on_) {
+      pool_.set_phase(upmem::Phase::kBtDma);
       dma_write_chunked(ctx_, pool_, buf_.bt_row_addr,
                         rows_off + static_cast<std::uint64_t>(s) * row_bytes,
                         row_bytes);
+      // Extra modeled BT streaming passes (bt_stream_passes > 1): the row was
+      // already written, only the MRAM-port accounting repeats.
+      for (int pass = 1; pass < bt_passes_; ++pass) {
+        charge_dma_chunked(pool_, row_bytes);
+      }
     }
 
     if (s == m + n) break;
@@ -491,6 +519,7 @@ void PairAligner::compute_band(std::int64_t m, std::int64_t n) {
   // Flush the tail of the lo staging buffer (padded to 8 bytes).
   if (traceback_on_ && lo_staged_ > 0) {
     const std::uint64_t bytes = align8(lo_staged_ * 4);
+    pool_.set_phase(upmem::Phase::kBtDma);
     ctx_.mram_write(buf_.lo_buf_addr, lo_area() + lo_flushed_ * 4, bytes);
     pool_.dma(bytes);
     lo_flushed_ += lo_staged_;
@@ -739,6 +768,7 @@ dna::Cigar PairAligner::traceback(std::int64_t m, std::int64_t n) {
           0, s - static_cast<std::int64_t>(kTbLoCache) + 2);
       const std::int64_t aligned_base = base & ~std::int64_t{1};
       const std::uint64_t count = kTbLoCache;
+      pool_.set_phase(upmem::Phase::kTraceback);
       ctx_.mram_read(lo_area() + static_cast<std::uint64_t>(aligned_base) * 4,
                      buf_.tb_lo_addr, align8(count * 4));
       pool_.dma(align8(count * 4));
@@ -753,6 +783,7 @@ dna::Cigar PairAligner::traceback(std::int64_t m, std::int64_t n) {
       const std::int64_t base = std::max<std::int64_t>(
           0, s - static_cast<std::int64_t>(kTbCacheRows) + 1);
       const std::uint64_t bytes = kTbCacheRows * row_bytes;
+      pool_.set_phase(upmem::Phase::kTraceback);
       dma_read_chunked(ctx_, pool_,
                        rows_off + static_cast<std::uint64_t>(base) * row_bytes,
                        buf_.tb_rows_addr, bytes);
@@ -792,6 +823,7 @@ void PairAligner::flush_runs(const PairEntry& pair, bool final_flush) {
     if (flush_count == 0) return;
   }
   const std::uint64_t bytes = align8(flush_count * 4);
+  pool_.set_phase(upmem::Phase::kTraceback);
   ctx_.mram_write(buf_.run_buf_addr, pair.cigar_off + runs_flushed_ * 4,
                   bytes);
   pool_.dma(bytes);
@@ -807,6 +839,8 @@ void PairAligner::flush_runs(const PairEntry& pair, bool final_flush) {
 void PairAligner::write_result(std::uint32_t pair_index,
                                const PairResult& result) {
   // Stage the 16-byte result in WRAM (reuse the run buffer) and DMA it out.
+  // Result write-back is pair bookkeeping → setup phase (dpu_cost.hpp).
+  pool_.set_phase(upmem::Phase::kSetup);
   std::memcpy(buf_.run_buf.data(), &result, sizeof(PairResult));
   ctx_.mram_write(buf_.run_buf_addr,
                   batch_.header.result_off + pair_index * sizeof(PairResult),
@@ -843,6 +877,7 @@ void NwDpuProgram::run(DpuContext& ctx) {
   // Boot: parse the batch header.
   Batch batch;
   batch.scratch_ = ctx.wram.alloc(128);
+  ctx.cost.pool(0).set_phase(upmem::Phase::kSetup);
   ctx.mram_read(0, batch.scratch_, align8(sizeof(BatchHeader)));
   ctx.cost.pool(0).dma(align8(sizeof(BatchHeader)));
   std::memcpy(&batch.header, ctx.wram.raw(batch.scratch_, sizeof(BatchHeader)),
@@ -863,6 +898,7 @@ void NwDpuProgram::run(DpuContext& ctx) {
   scratch.prepare(batch.header.band_width);
   std::vector<PoolBuffers> buffers(static_cast<std::size_t>(pools));
   for (int p = 0; p < pools; ++p) {
+    ctx.cost.pool(p).set_phase(upmem::Phase::kSetup);
     ctx.cost.pool(p).serial(cost_.launch_setup_instr);
     buffers[static_cast<std::size_t>(p)].allocate(
         ctx, ctx.cost.pool(p), batch.header.band_width, scratch);
@@ -876,7 +912,8 @@ void NwDpuProgram::run(DpuContext& ctx) {
     upmem::PoolCost& pool = ctx.cost.pool(p);
     const PairEntry pair = batch.pair_entry(ctx, pool, pair_index);
     PairAligner aligner(ctx, pool, buffers[static_cast<std::size_t>(p)],
-                        batch, cost_, tasklets, p, sim_path_);
+                        batch, cost_, tasklets, p, sim_path_,
+                        bt_stream_passes_);
     aligner.align(pair, pair_index);
   }
 }

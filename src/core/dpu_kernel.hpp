@@ -51,14 +51,17 @@ class NwDpuProgram : public upmem::DpuProgram {
  public:
   /// `scratch` may be nullptr (the program then keeps a private arena) or a
   /// caller-owned KernelScratch that must outlive the launch and must not be
-  /// shared with a concurrently running program.
+  /// shared with a concurrently running program. `bt_stream_passes` models
+  /// each BT row crossing the MRAM port that many times (profiling stress
+  /// knob, PimAlignerConfig::bt_stream_passes); 1 is the paper's kernel.
   NwDpuProgram(PoolConfig pool_config, KernelVariant variant,
                SimPath sim_path = SimPath::kAuto,
-               KernelScratch* scratch = nullptr)
+               KernelScratch* scratch = nullptr, int bt_stream_passes = 1)
       : pool_config_(pool_config),
         cost_(kernel_cost(variant)),
         sim_path_(sim_path),
-        scratch_(scratch) {}
+        scratch_(scratch),
+        bt_stream_passes_(bt_stream_passes) {}
 
   void run(upmem::DpuContext& ctx) override;
 
@@ -67,6 +70,7 @@ class NwDpuProgram : public upmem::DpuProgram {
   KernelCost cost_;
   SimPath sim_path_;  // host execution strategy; never affects modeled cost
   KernelScratch* scratch_;  // optional shared arena (not owned)
+  int bt_stream_passes_;    // modeled BT streaming passes (>= 1)
 };
 
 }  // namespace pimnw::core

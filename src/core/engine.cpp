@@ -55,7 +55,10 @@ void decode_readback(const DpuPlan& plan,
     output.dpu_dma_bytes = result.dma_bytes;
     if (output.ok && result.cigar_runs > 0) {
       PIMNW_CHECK_MSG(result.cigar_runs <= plan.meta[p].cigar_cap,
-                      "DPU reported more cigar runs than its slot holds");
+                      "DPU reported more cigar runs than its slot holds: pair="
+                          << plan.meta[p].global_id
+                          << " runs=" << result.cigar_runs
+                          << " cap=" << plan.meta[p].cigar_cap);
       std::vector<std::uint32_t> runs(result.cigar_runs);
       std::memcpy(runs.data(), readback.data() + plan.meta[p].cigar_rel,
                   result.cigar_runs * sizeof(std::uint32_t));
@@ -88,6 +91,7 @@ struct ExecEngine::Arena {
 struct ExecEngine::Slot {
   PreparedBatch prepared;
   std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries;
+  std::array<upmem::DpuPhaseProfile, upmem::kDpusPerRank> profiles;
   std::array<bool, upmem::kDpusPerRank> ran{};
   std::size_t index = 0;  // batch number (trace span labels)
   std::atomic<int> jobs_left{0};
@@ -108,6 +112,7 @@ ExecEngine::ExecEngine(const PimAlignerConfig& config,
   pool_base_executed_ = baseline.executed;
   pool_base_stolen_ = baseline.stolen;
   pool_base_injected_ = baseline.injected;
+  stats_->set_params(params_json(config_));
   if (config_.engine == EngineMode::kPipelined) {
     // Arena 0 serves outside threads (the committing caller when it helps
     // execute jobs); arenas 1..size serve the pool workers.
@@ -219,7 +224,8 @@ void ExecEngine::schedule(
       }
       PIMNW_CHECK_MSG(slot.prepared.plans.size() ==
                           static_cast<std::size_t>(upmem::kDpusPerRank),
-                      "a PreparedBatch must carry one plan per DPU");
+                      "a PreparedBatch must carry one plan per DPU: batch="
+                          << index << " plans=" << slot.prepared.plans.size());
       int jobs = 0;
       for (const DpuPlan& plan : slot.prepared.plans) {
         if (!plan.batch.pairs.empty()) ++jobs;
@@ -260,10 +266,11 @@ void ExecEngine::exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out) {
   }
   arena.dpu.mram().write(0, plan.image.bytes);
   NwDpuProgram program(config_.pool, config_.variant, config_.sim_path,
-                       &arena.scratch);
+                       &arena.scratch, config_.bt_stream_passes);
   slot.summaries[static_cast<std::size_t>(dpu)] = arena.dpu.launch(
       program, config_.pool.pools, config_.pool.tasklets_per_pool,
       arena.wram);
+  slot.profiles[static_cast<std::size_t>(dpu)] = arena.dpu.last_profile();
   slot.ran[static_cast<std::size_t>(dpu)] = true;
   arena.readback.resize(plan.image.readback_bytes);
   arena.dpu.mram().read(plan.image.result_off, arena.readback);
@@ -364,7 +371,7 @@ void ExecEngine::commit(Slot& slot, std::vector<PairOutput>* out) {
   stats_->add_cells(slot.prepared.total_workload);
   stats_->on_launch(report_.batches, r, start, in_stats.seconds,
                     host_cost_.per_launch_seconds, out_stats.seconds,
-                    slot.summaries, slot.ran, launch_stats);
+                    slot.summaries, slot.ran, launch_stats, &slot.profiles);
   ++report_.batches;
   report_.total_pairs += batch_pairs;
 }
@@ -396,7 +403,8 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
   std::vector<DpuPlan>& plans = prepared.plans;
   PIMNW_CHECK_MSG(plans.size() ==
                       static_cast<std::size_t>(upmem::kDpusPerRank),
-                  "a PreparedBatch must carry one plan per DPU");
+                  "a PreparedBatch must carry one plan per DPU: batch="
+                      << report_.batches << " plans=" << plans.size());
   double prep_seconds = prepared.extra_prep_seconds;
   std::uint64_t batch_pairs = 0;
   std::vector<std::vector<std::uint8_t>> to_dpu(upmem::kDpusPerRank);
@@ -428,7 +436,8 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
           return nullptr;
         }
         return std::make_unique<NwDpuProgram>(config_.pool, config_.variant,
-                                              config_.sim_path);
+                                              config_.sim_path, nullptr,
+                                              config_.bt_stream_passes);
       },
       config_.pool.pools, config_.pool.tasklets_per_pool, pool_,
       /*static_chunking=*/true);
@@ -436,12 +445,15 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
   // Per-DPU summaries for the stats/trace observers (each launched DPU
   // retains its last summary; read before the banks are reused).
   std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries{};
+  std::array<upmem::DpuPhaseProfile, upmem::kDpusPerRank> profiles{};
   std::array<bool, upmem::kDpusPerRank> ran{};
   for (int d = 0; d < upmem::kDpusPerRank; ++d) {
     if (plans[static_cast<std::size_t>(d)].batch.pairs.empty()) continue;
     ran[static_cast<std::size_t>(d)] = true;
     summaries[static_cast<std::size_t>(d)] =
         system_.rank(r).dpu(d).last_summary();
+    profiles[static_cast<std::size_t>(d)] =
+        system_.rank(r).dpu(d).last_profile();
   }
   util_sum_ += launch_stats.mean_pipeline_utilization;
   mram_sum_ += launch_stats.mean_mram_overhead;
@@ -474,7 +486,7 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
   stats_->add_cells(prepared.total_workload);
   stats_->on_launch(report_.batches, r, start, in_stats.seconds,
                     host_cost_.per_launch_seconds, out_stats.seconds,
-                    summaries, ran, launch_stats);
+                    summaries, ran, launch_stats, &profiles);
   ++report_.batches;
   report_.total_pairs += batch_pairs;
 }

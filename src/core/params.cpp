@@ -1,5 +1,7 @@
 #include "core/params.hpp"
 
+#include <sstream>
+
 namespace pimnw::core {
 
 const char* kernel_variant_name(KernelVariant variant) {
@@ -20,6 +22,26 @@ const char* sim_path_name(SimPath path) {
 
 const char* engine_mode_name(EngineMode mode) {
   return mode == EngineMode::kPipelined ? "pipelined" : "legacy-barrier";
+}
+
+std::string params_json(const PimAlignerConfig& config) {
+  std::ostringstream os;
+  os << "{ \"nr_ranks\": " << config.nr_ranks
+     << ", \"pools\": " << config.pool.pools
+     << ", \"tasklets_per_pool\": " << config.pool.tasklets_per_pool
+     << ", \"variant\": \"" << kernel_variant_name(config.variant) << "\""
+     << ", \"sim_path\": \"" << sim_path_name(config.sim_path) << "\""
+     << ", \"band_width\": " << config.align.band_width
+     << ", \"traceback\": " << (config.align.traceback ? "true" : "false")
+     << ", \"match\": " << config.align.scoring.match
+     << ", \"mismatch\": " << config.align.scoring.mismatch
+     << ", \"gap_open\": " << config.align.scoring.gap_open
+     << ", \"gap_extend\": " << config.align.scoring.gap_extend
+     << ", \"batch_pairs\": " << config.batch_pairs
+     << ", \"engine\": \"" << engine_mode_name(config.engine) << "\""
+     << ", \"batch_window\": " << config.batch_window
+     << ", \"bt_stream_passes\": " << config.bt_stream_passes << " }";
+  return os.str();
 }
 
 }  // namespace pimnw::core

@@ -7,6 +7,7 @@
 
 #include "core/host.hpp"
 #include "util/logging.hpp"
+#include "util/provenance.hpp"
 #include "util/trace.hpp"
 
 namespace pimnw::core {
@@ -42,7 +43,8 @@ void StatsCollector::on_launch(
     const std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank>&
         summaries,
     const std::array<bool, upmem::kDpusPerRank>& ran,
-    const upmem::Rank::LaunchStats& agg) {
+    const upmem::Rank::LaunchStats& agg,
+    const std::array<upmem::DpuPhaseProfile, upmem::kDpusPerRank>* profiles) {
   LaunchRecord record;
   record.batch = batch;
   record.rank = rank;
@@ -60,6 +62,21 @@ void StatsCollector::on_launch(
     cycles_max_ = std::max(cycles_max_, summary.cycles);
     cycles_sum_ += summary.cycles;
     ++dpu_count_;
+  }
+
+  upmem::DpuPhaseProfile launch_prof;
+  if (profiles != nullptr) {
+    for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+      if (!ran[static_cast<std::size_t>(d)]) continue;
+      const auto& prof = (*profiles)[static_cast<std::size_t>(d)];
+      record.attributed_cycles += prof.attributed_cycles();
+      ++record.verdict_dpus[static_cast<std::size_t>(prof.bottleneck)];
+      ++verdict_dpus_[static_cast<std::size_t>(prof.bottleneck)];
+      launch_prof.merge(prof);
+    }
+    record.bottleneck = launch_prof.bottleneck;
+    profile_.merge(launch_prof);
+    has_profile_ = true;
   }
   launches_.push_back(record);
 
@@ -82,10 +99,44 @@ void StatsCollector::on_launch(
     for (int d = 0; d < upmem::kDpusPerRank; ++d) {
       if (!ran[static_cast<std::size_t>(d)]) continue;
       const auto& summary = summaries[static_cast<std::size_t>(d)];
-      trace::modeled_span(b + " d" + std::to_string(d),
-                          base + 1 + static_cast<std::uint32_t>(d),
+      const std::uint32_t lane = base + 1 + static_cast<std::uint32_t>(d);
+      trace::modeled_span(b + " d" + std::to_string(d), lane,
                           record.exec_start_seconds * kSecondsToUs,
                           summary.seconds * kSecondsToUs, summary.cycles);
+      if (profiles == nullptr) continue;
+      // Tile the DPU span with its phase attribution: back-to-back sub-spans
+      // whose cycles sum exactly to the parent's (the invariant again, now
+      // visible in Perfetto).
+      const auto& prof = (*profiles)[static_cast<std::size_t>(d)];
+      double cursor = record.exec_start_seconds * kSecondsToUs;
+      const double us_per_cycle = kSecondsToUs / upmem::kDpuFrequencyHz;
+      for (int ph = 0; ph < upmem::kPhaseCount; ++ph) {
+        const std::uint64_t cyc =
+            prof.phase_cycles(static_cast<upmem::Phase>(ph));
+        if (cyc == 0) continue;
+        const double dur = static_cast<double>(cyc) * us_per_cycle;
+        trace::modeled_span(phase_name(static_cast<upmem::Phase>(ph)), lane,
+                            cursor, dur, cyc);
+        cursor += dur;
+      }
+      if (prof.reentry_stall_cycles > 0) {
+        trace::modeled_span(
+            "reentry stall", lane, cursor,
+            static_cast<double>(prof.reentry_stall_cycles) * us_per_cycle,
+            prof.reentry_stall_cycles);
+      }
+    }
+    if (profiles != nullptr && launch_prof.cycles > 0) {
+      // Launch-level counter tracks (tid 0 of the modeled process).
+      const double total = static_cast<double>(launch_prof.cycles);
+      trace::modeled_counter(
+          "modeled pipeline util %", record.exec_start_seconds * kSecondsToUs,
+          100.0 * static_cast<double>(launch_prof.total_issue_cycles()) /
+              total);
+      trace::modeled_counter(
+          "modeled MRAM stall %", record.exec_start_seconds * kSecondsToUs,
+          100.0 * static_cast<double>(launch_prof.total_dma_stall_cycles()) /
+              total);
     }
   }
 }
@@ -151,7 +202,48 @@ void StatsCollector::write_json(std::ostream& out,
   out << "  \"bytes_to_dpus\": " << report.bytes_to_dpus << ",\n";
   out << "  \"bytes_from_dpus\": " << report.bytes_from_dpus << ",\n";
   out << "  \"total_instructions\": " << report.total_instructions << ",\n";
-  out << "  \"total_dma_bytes\": " << report.total_dma_bytes << "\n";
+  out << "  \"total_dma_bytes\": " << report.total_dma_bytes << ",\n";
+  if (has_profile_) {
+    out << "  \"profile\": {\n";
+    out << "    \"cycles\": " << profile_.cycles << ",\n";
+    out << "    \"attributed_cycles\": " << profile_.attributed_cycles()
+        << ",\n";
+    out << "    \"phases\": {\n";
+    for (int ph = 0; ph < upmem::kPhaseCount; ++ph) {
+      const auto i = static_cast<std::size_t>(ph);
+      out << "      \"" << upmem::phase_name(static_cast<upmem::Phase>(ph))
+          << "\": { \"issue_cycles\": " << profile_.issue_cycles[i]
+          << ", \"dma_stall_cycles\": " << profile_.dma_stall_cycles[i]
+          << ", \"dma_bytes\": " << profile_.dma_bytes[i] << " }"
+          << (ph + 1 < upmem::kPhaseCount ? "," : "") << "\n";
+    }
+    out << "    },\n";
+    out << "    \"reentry_stall_cycles\": " << profile_.reentry_stall_cycles
+        << ",\n";
+    out << "    \"mram_contention_cycles\": "
+        << profile_.mram_contention_cycles << ",\n";
+    out << "    \"stall_fraction\": " << profile_.stall_fraction() << ",\n";
+    out << "    \"bottleneck\": \""
+        << upmem::bottleneck_name(profile_.bottleneck) << "\",\n";
+    out << "    \"verdict_dpus\": { \"pipeline\": " << verdict_dpus_[0]
+        << ", \"mram\": " << verdict_dpus_[1]
+        << ", \"reentry\": " << verdict_dpus_[2] << " },\n";
+    out << "    \"dma_hist\": [";
+    for (int b = 0; b < upmem::kDmaHistBuckets; ++b) {
+      out << (b > 0 ? ", " : "")
+          << profile_.dma_hist[static_cast<std::size_t>(b)];
+    }
+    out << "],\n";
+    out << "    \"tasklet_instr\": [";
+    const int slots = std::min(profile_.active_tasklets, upmem::kMaxTasklets);
+    for (int t = 0; t < slots; ++t) {
+      out << (t > 0 ? ", " : "")
+          << profile_.tasklet_instr[static_cast<std::size_t>(t)];
+    }
+    out << "]\n";
+    out << "  },\n";
+  }
+  out << "  \"provenance\": " << provenance_json(params_) << "\n";
   out << "}\n";
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "upmem/cost_model.hpp"
 #include "upmem/rank.hpp"
 
 namespace pimnw::core {
@@ -40,6 +41,14 @@ struct LaunchRecord {
   std::uint64_t max_cycles = 0;     // == LaunchStats.max_cycles
   std::uint64_t sum_dpu_cycles = 0; // Σ cycles over the launched DPUs
   int active_dpus = 0;
+  // Profiler view (zero unless the engine passed per-DPU phase profiles).
+  // attributed_cycles == sum_dpu_cycles whenever profiles were attached —
+  // the reconciliation invariant, pinned by profiler_test.
+  std::uint64_t attributed_cycles = 0;
+  upmem::Bottleneck bottleneck = upmem::Bottleneck::kPipeline;
+  /// Launched DPUs whose verdict was pipeline/MRAM/reentry-bound, indexed by
+  /// static_cast<int>(Bottleneck).
+  std::array<int, 3> verdict_dpus{};
 };
 
 class StatsCollector {
@@ -48,13 +57,20 @@ class StatsCollector {
   /// tracing is enabled. `start` is the batch's timeline start,
   /// `in_seconds`/`overhead_seconds`/`out_seconds` the transfer-in, launch
   /// overhead and readback legs; execution duration comes from `agg`.
+  /// `profiles`, when non-null, carries the per-DPU phase attribution of the
+  /// launch (slots of DPUs that did not run are ignored); the collector then
+  /// aggregates a run-wide DpuPhaseProfile, records per-launch bottleneck
+  /// verdicts, and — when tracing is on — tiles each modeled DPU span with
+  /// phase sub-spans and emits utilisation counter tracks.
   void on_launch(
       std::uint64_t batch, int rank, double start, double in_seconds,
       double overhead_seconds, double out_seconds,
       const std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank>&
           summaries,
       const std::array<bool, upmem::kDpusPerRank>& ran,
-      const upmem::Rank::LaunchStats& agg);
+      const upmem::Rank::LaunchStats& agg,
+      const std::array<upmem::DpuPhaseProfile, upmem::kDpusPerRank>*
+          profiles = nullptr);
 
   /// Record the all-vs-all broadcast (delays every rank equally).
   void on_broadcast(double seconds, std::uint64_t bytes, int nr_ranks);
@@ -78,6 +94,22 @@ class StatsCollector {
                             static_cast<double>(dpu_count_)
                       : 0.0;
   }
+  /// Run-wide phase profile: the merge of every launched DPU's
+  /// DpuPhaseProfile (empty/has_profile()==false when the engine never
+  /// attached profiles).
+  bool has_profile() const { return has_profile_; }
+  const upmem::DpuPhaseProfile& profile() const { return profile_; }
+  /// DPU launches per bottleneck verdict, indexed by
+  /// static_cast<int>(Bottleneck).
+  const std::array<std::uint64_t, 3>& verdict_dpus() const {
+    return verdict_dpus_;
+  }
+
+  /// Params snapshot (core::params_json) stamped into the report's
+  /// provenance block; the engine sets it at construction.
+  void set_params(std::string params_json) { params_ = std::move(params_json); }
+  const std::string& params() const { return params_; }
+
   std::uint64_t prefetch_hits() const { return prefetch_hits_; }
   std::uint64_t prefetch_misses() const { return prefetch_misses_; }
   std::uint64_t pool_executed() const { return pool_executed_; }
@@ -100,6 +132,10 @@ class StatsCollector {
 
   std::vector<LaunchRecord> launches_;
   std::vector<bool> rank_lanes_named_;
+  upmem::DpuPhaseProfile profile_;
+  bool has_profile_ = false;
+  std::array<std::uint64_t, 3> verdict_dpus_{};
+  std::string params_;
   std::uint64_t cells_ = 0;
   std::uint64_t cycles_min_ = ~std::uint64_t{0};
   std::uint64_t cycles_max_ = 0;

@@ -29,6 +29,7 @@ DpuCostModel::Summary Dpu::launch(DpuProgram& program, int pools,
   DpuContext ctx{mram_, wram, cost};
   program.run(ctx);
   last_summary_ = cost.summarize();
+  last_profile_ = cost.profile();
   return last_summary_;
 }
 

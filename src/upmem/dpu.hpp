@@ -58,9 +58,14 @@ class Dpu {
 
   const DpuCostModel::Summary& last_summary() const { return last_summary_; }
 
+  /// Phase-attributed profile of the last launch (DESIGN.md §12). Retained
+  /// alongside last_summary(); reading it cannot change modeled numbers.
+  const DpuPhaseProfile& last_profile() const { return last_profile_; }
+
  private:
   Mram mram_;
   DpuCostModel::Summary last_summary_;
+  DpuPhaseProfile last_profile_;
 };
 
 }  // namespace pimnw::upmem

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/logging.hpp"
+
 namespace pimnw {
 
 /// Thrown when a PIMNW_CHECK fails. Carries the failing expression and
@@ -25,6 +27,9 @@ namespace detail {
   std::ostringstream os;
   os << "PIMNW_CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
+  // Log before throwing: exceptions swallowed by a worker or rethrown at the
+  // commit barrier still leave one timestamped record of the original site.
+  PIMNW_ERROR(os.str());
   throw CheckError(os.str());
 }
 

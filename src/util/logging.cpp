@@ -30,6 +30,21 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+bool set_log_level_by_name(const std::string& name) {
+  if (name == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else if (name == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (name == "warn") {
+    set_log_level(LogLevel::kWarn);
+  } else if (name == "error") {
+    set_log_level(LogLevel::kError);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {

@@ -13,6 +13,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Set the threshold from a CLI-style name ("debug", "info", "warn",
+/// "error"). Returns false (level unchanged) for anything else.
+bool set_log_level_by_name(const std::string& name);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
 }

@@ -1,0 +1,47 @@
+#include "util/provenance.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+#ifndef PIMNW_GIT_SHA
+#define PIMNW_GIT_SHA "unknown"
+#endif
+#ifndef PIMNW_BUILD_TYPE
+#define PIMNW_BUILD_TYPE "unknown"
+#endif
+
+namespace pimnw {
+
+const char* build_git_sha() { return PIMNW_GIT_SHA; }
+
+const char* build_preset() { return PIMNW_BUILD_TYPE; }
+
+std::string timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string provenance_json(const std::string& params_json) {
+  std::string out = "{ \"git_sha\": \"";
+  out += build_git_sha();
+  out += "\", \"build_type\": \"";
+  out += build_preset();
+  out += "\", \"timestamp\": \"";
+  out += timestamp_utc();
+  out += "\", \"params\": ";
+  out += params_json.empty() ? "null" : params_json;
+  out += " }";
+  return out;
+}
+
+}  // namespace pimnw

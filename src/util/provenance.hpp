@@ -1,0 +1,32 @@
+// Provenance stamping for stats/bench JSON reports (DESIGN.md §12).
+//
+// Every machine-readable report the repo emits (core/stats run JSON, the
+// BENCH_*.json baselines, pimnw_prof --json-out) carries one "provenance"
+// object: the git SHA and build type baked in at configure time, the wall
+// clock at emission, and — where the producer has one — a snapshot of the
+// modeled-relevant Params. scripts/bench_diff.py skips the subtree when
+// comparing, so stamps never trip the regression gate.
+#pragma once
+
+#include <string>
+
+namespace pimnw {
+
+/// Git commit SHA of the checkout, captured at CMake configure time
+/// ("unknown" outside a git checkout or when git is unavailable).
+const char* build_git_sha();
+
+/// CMake build type of this binary ("Release", "Debug", ... or "unknown").
+const char* build_preset();
+
+/// Current UTC wall clock as ISO-8601, e.g. "2026-08-05T12:34:56Z".
+std::string timestamp_utc();
+
+/// The shared provenance JSON object:
+///   { "git_sha": "...", "build_type": "...", "timestamp": "...",
+///     "params": {...} }
+/// `params_json` must be a complete JSON value (core::params_json) or empty,
+/// in which case the field is emitted as null.
+std::string provenance_json(const std::string& params_json = std::string());
+
+}  // namespace pimnw

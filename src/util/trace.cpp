@@ -144,6 +144,18 @@ void modeled_span(std::string name, std::uint32_t tid, double ts_us,
   local_buffer().events.push_back(std::move(e));
 }
 
+void modeled_counter(std::string name, double ts_us, double value) {
+  if (!enabled()) return;
+  Event e;
+  e.name = std::move(name);
+  e.ts_us = ts_us;
+  e.phase = 'C';
+  e.value = value;
+  e.pid = kModeledPid;
+  e.tid = 0;
+  local_buffer().events.push_back(std::move(e));
+}
+
 std::vector<Event> snapshot() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);

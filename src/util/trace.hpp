@@ -84,6 +84,11 @@ void instant(std::string name);
 void modeled_span(std::string name, std::uint32_t tid, double ts_us,
                   double dur_us, std::uint64_t cycles = 0);
 
+/// Record a counter-track sample on the modeled timeline (tid 0 of
+/// kModeledPid) at an explicit virtual timestamp — the profiler's pipeline
+/// utilisation / MRAM-stall tracks (DESIGN.md §12).
+void modeled_counter(std::string name, double ts_us, double value);
+
 /// Merged copy of every thread's events (test/export API — must not race
 /// active recording).
 std::vector<Event> snapshot();

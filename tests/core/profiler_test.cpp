@@ -1,0 +1,267 @@
+// Engine-level profiler invariants (ISSUE 5, DESIGN.md §12):
+//
+//  * Reconciliation: every LaunchRecord's attributed_cycles equals its
+//    sum_dpu_cycles, and the run-wide merged profile sums exactly to the
+//    total launch cycles — in both engine modes, across pool/tasklet
+//    shapes, with and without traceback.
+//  * Pure observer: attaching a StatsCollector (and thus collecting the
+//    profile) changes no score, CIGAR, modeled cycle or DMA byte.
+//  * The bt_stream_passes stress knob scales only modeled BT DMA traffic
+//    and drives the verdict from pipeline- to MRAM-bound; tiny pools expose
+//    the reentry-bound regime.
+//  * The stats JSON carries the "profile" object and the provenance stamp;
+//    the Perfetto trace carries phase sub-spans whose cycles reconcile too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/host.hpp"
+#include "core/stats.hpp"
+#include "data/synthetic.hpp"
+#include "upmem/cost_model.hpp"
+#include "util/trace.hpp"
+
+namespace pimnw::core {
+namespace {
+
+/// 96 pairs x ~300 bp: small enough to run many engine configurations,
+/// large enough that every launch touches several DPUs.
+const std::vector<PairInput>& small_pairs() {
+  static const std::vector<PairInput>* pairs = [] {
+    data::SyntheticConfig dc = data::s1000_config(96, 11);
+    dc.read_length = 300;
+    static const data::PairDataset dataset = data::generate_synthetic(dc);
+    auto* v = new std::vector<PairInput>();
+    for (const auto& [a, b] : dataset.pairs) v->push_back({a, b});
+    return v;
+  }();
+  return *pairs;
+}
+
+/// 768 pairs x ~1 kbp: two pairs for every pool of every DPU of one rank —
+/// the dense regime the paper reports 95-99% pipeline utilisation for.
+const std::vector<PairInput>& dense_pairs() {
+  static const std::vector<PairInput>* pairs = [] {
+    data::SyntheticConfig dc = data::s1000_config(768, 12);
+    static const data::PairDataset dataset = data::generate_synthetic(dc);
+    auto* v = new std::vector<PairInput>();
+    for (const auto& [a, b] : dataset.pairs) v->push_back({a, b});
+    return v;
+  }();
+  return *pairs;
+}
+
+PimAlignerConfig base_config() {
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  return config;
+}
+
+struct RunResult {
+  RunReport report;
+  std::vector<PairOutput> out;
+};
+
+RunResult run(PimAlignerConfig config, const std::vector<PairInput>& pairs) {
+  PimAligner aligner(config);
+  RunResult r;
+  r.report = aligner.align_pairs(pairs, &r.out);
+  return r;
+}
+
+void expect_reconciles(const StatsCollector& stats) {
+  ASSERT_TRUE(stats.has_profile());
+  std::uint64_t launch_cycles = 0;
+  for (const LaunchRecord& rec : stats.launches()) {
+    EXPECT_EQ(rec.attributed_cycles, rec.sum_dpu_cycles)
+        << "batch " << rec.batch << " rank " << rec.rank;
+    int verdicts = 0;
+    for (int v : rec.verdict_dpus) verdicts += v;
+    EXPECT_EQ(verdicts, rec.active_dpus);
+    launch_cycles += rec.sum_dpu_cycles;
+  }
+  const upmem::DpuPhaseProfile& prof = stats.profile();
+  EXPECT_EQ(prof.cycles, launch_cycles);
+  EXPECT_EQ(prof.attributed_cycles(), prof.cycles);
+}
+
+TEST(ProfilerTest, ReconciliationAcrossEnginesAndShapes) {
+  const struct {
+    EngineMode mode;
+    int pools;
+    int tasklets;
+    bool traceback;
+  } cases[] = {
+      {EngineMode::kPipelined, 6, 4, true},
+      {EngineMode::kPipelined, 2, 3, true},
+      {EngineMode::kPipelined, 1, 2, true},
+      {EngineMode::kPipelined, 6, 4, false},
+      {EngineMode::kLegacyBarrier, 6, 4, true},
+      {EngineMode::kLegacyBarrier, 2, 3, false},
+      {EngineMode::kLegacyBarrier, 1, 2, true},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(std::string(engine_mode_name(c.mode)) + " P" +
+                 std::to_string(c.pools) + "T" + std::to_string(c.tasklets) +
+                 (c.traceback ? " tb" : " score-only"));
+    StatsCollector stats;
+    PimAlignerConfig config = base_config();
+    config.engine = c.mode;
+    config.pool.pools = c.pools;
+    config.pool.tasklets_per_pool = c.tasklets;
+    config.align.traceback = c.traceback;
+    config.stats = &stats;
+    run(config, small_pairs());
+    expect_reconciles(stats);
+  }
+}
+
+TEST(ProfilerTest, ProfilerIsPureObserver) {
+  // Same run with and without a collector: every output and every modeled
+  // report number is bit-identical.
+  PimAlignerConfig config = base_config();
+  const RunResult plain = run(config, small_pairs());
+  StatsCollector stats;
+  config.stats = &stats;
+  const RunResult observed = run(config, small_pairs());
+  ASSERT_TRUE(stats.has_profile());
+
+  ASSERT_EQ(plain.out.size(), observed.out.size());
+  for (std::size_t p = 0; p < plain.out.size(); ++p) {
+    EXPECT_EQ(plain.out[p].score, observed.out[p].score) << "pair " << p;
+    EXPECT_EQ(plain.out[p].cigar, observed.out[p].cigar) << "pair " << p;
+    EXPECT_EQ(plain.out[p].dpu_pool_cycles, observed.out[p].dpu_pool_cycles)
+        << "pair " << p;
+    EXPECT_EQ(plain.out[p].dpu_dma_bytes, observed.out[p].dpu_dma_bytes)
+        << "pair " << p;
+  }
+  EXPECT_EQ(plain.report.makespan_seconds, observed.report.makespan_seconds);
+  EXPECT_EQ(plain.report.total_instructions,
+            observed.report.total_instructions);
+  EXPECT_EQ(plain.report.total_dma_bytes, observed.report.total_dma_bytes);
+}
+
+TEST(ProfilerTest, BtStreamPassesScalesOnlyModeledDma) {
+  PimAlignerConfig config = base_config();
+  const RunResult one = run(config, small_pairs());
+  config.bt_stream_passes = 8;
+  StatsCollector stats;
+  config.stats = &stats;
+  const RunResult eight = run(config, small_pairs());
+
+  // Results are untouched — the knob models extra BT streaming traffic,
+  // never different alignments.
+  ASSERT_EQ(one.out.size(), eight.out.size());
+  for (std::size_t p = 0; p < one.out.size(); ++p) {
+    EXPECT_EQ(one.out[p].ok, eight.out[p].ok) << "pair " << p;
+    EXPECT_EQ(one.out[p].score, eight.out[p].score) << "pair " << p;
+    EXPECT_EQ(one.out[p].cigar, eight.out[p].cigar) << "pair " << p;
+  }
+  // But the modeled DMA traffic (and thus time) grows.
+  EXPECT_GT(eight.report.total_dma_bytes, one.report.total_dma_bytes);
+  EXPECT_GE(eight.report.makespan_seconds, one.report.makespan_seconds);
+  const upmem::DpuPhaseProfile& prof = stats.profile();
+  const auto bt = static_cast<std::size_t>(upmem::Phase::kBtDma);
+  EXPECT_GT(prof.dma_bytes[bt], 0u);
+  expect_reconciles(stats);
+}
+
+TEST(ProfilerTest, VerdictFlipsToMramBoundUnderBtStreaming) {
+  StatsCollector stats;
+  PimAlignerConfig config = base_config();
+  config.bt_stream_passes = 400;
+  config.stats = &stats;
+  run(config, small_pairs());
+  ASSERT_TRUE(stats.has_profile());
+  EXPECT_EQ(stats.profile().bottleneck, upmem::Bottleneck::kMram);
+  expect_reconciles(stats);
+}
+
+TEST(ProfilerTest, TinyPoolsAreReentryBound) {
+  // P*T = 2 < kPipelineReentry: the issue interval stays 11, so most cycles
+  // are re-entry slack whatever the workload.
+  StatsCollector stats;
+  PimAlignerConfig config = base_config();
+  config.pool.pools = 1;
+  config.pool.tasklets_per_pool = 2;
+  config.stats = &stats;
+  run(config, small_pairs());
+  ASSERT_TRUE(stats.has_profile());
+  EXPECT_EQ(stats.profile().bottleneck, upmem::Bottleneck::kReentry);
+  expect_reconciles(stats);
+}
+
+TEST(ProfilerTest, DenseWorkloadIsPipelineBound) {
+  // Two pairs per pool of a full rank at 1 kbp: the paper's high-occupancy
+  // regime. The attributed stall must stay within a few percent (§5 reports
+  // 95-99% pipeline utilisation; the modeled default lands ~98%).
+  StatsCollector stats;
+  PimAlignerConfig config = base_config();
+  config.stats = &stats;
+  run(config, dense_pairs());
+  ASSERT_TRUE(stats.has_profile());
+  const upmem::DpuPhaseProfile& prof = stats.profile();
+  EXPECT_EQ(prof.bottleneck, upmem::Bottleneck::kPipeline);
+  EXPECT_LT(prof.stall_fraction(), 0.05);
+  expect_reconciles(stats);
+}
+
+TEST(ProfilerTest, JsonCarriesProfileAndProvenance) {
+  StatsCollector stats;
+  PimAlignerConfig config = base_config();
+  config.stats = &stats;
+  const RunResult r = run(config, small_pairs());
+  std::ostringstream os;
+  stats.write_json(os, r.report);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"bottleneck\""), std::string::npos);
+  EXPECT_NE(json.find("\"bt_dma\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict_dpus\""), std::string::npos);
+  EXPECT_NE(json.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"timestamp\""), std::string::npos);
+  // The engine stamped the Params snapshot into the provenance block.
+  EXPECT_NE(json.find("\"bt_stream_passes\""), std::string::npos);
+}
+
+TEST(ProfilerTest, TracePhaseSubSpansReconcile) {
+  trace::clear();
+  trace::set_enabled(true);
+  StatsCollector stats;
+  PimAlignerConfig config = base_config();
+  config.stats = &stats;
+  run(config, small_pairs());
+  trace::set_enabled(false);
+  ASSERT_TRUE(stats.has_profile());
+
+  // Sum the cycles of every phase sub-span (and reentry filler) on the
+  // modeled timeline: tiling the DPU spans must preserve the cycle total.
+  std::uint64_t subspan_cycles = 0;
+  bool saw_util_counter = false;
+  bool saw_mram_counter = false;
+  for (const trace::Event& e : trace::snapshot()) {
+    if (e.pid != trace::kModeledPid) continue;
+    if (e.phase == 'C') {
+      saw_util_counter |= e.name == "modeled pipeline util %";
+      saw_mram_counter |= e.name == "modeled MRAM stall %";
+      continue;
+    }
+    for (int ph = 0; ph < upmem::kPhaseCount; ++ph) {
+      if (e.name == upmem::phase_name(static_cast<upmem::Phase>(ph))) {
+        subspan_cycles += e.cycles;
+      }
+    }
+    if (e.name == "reentry stall") subspan_cycles += e.cycles;
+  }
+  EXPECT_EQ(subspan_cycles, stats.profile().cycles);
+  EXPECT_TRUE(saw_util_counter);
+  EXPECT_TRUE(saw_mram_counter);
+  trace::clear();
+}
+
+}  // namespace
+}  // namespace pimnw::core

@@ -1,0 +1,238 @@
+// 16S all-vs-all transfer-amortization bench (DESIGN.md §13): the same
+// N·(N-1)/2 score-only alignments run two ways on the modeled timeline —
+//
+//  * re-dispatch: the pre-session path (PimAligner::align_pairs), which
+//    re-encodes and re-sends both sequences of every pair in every batch;
+//  * session: a DbSession that broadcasts the 2-bit-packed database to MRAM
+//    once, then moves only 8-byte index pairs out and 16-byte scores back.
+//
+// Writes BENCH_16s.json with seconds/alignment, GCUPS and host->DPU bytes
+// per alignment for both modes (the session's per-round marginal traffic is
+// bytes_to_dpus - bytes_broadcast), plus a tiled top-K all-vs-all sweep
+// through the streaming reducer. The acceptance gate for the session path:
+// >= 10x lower marginal host->DPU bytes/alignment, lower seconds/alignment,
+// bit-identical scores. --paper-scale runs the session sweep at the paper's
+// 9557 sequences (~45.7M alignments) — hours of simulation, so it is off by
+// default and replaces the cross-checked comparison run.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "core/host.hpp"
+#include "core/load_balance.hpp"
+#include "core/session.hpp"
+#include "core/stats.hpp"
+#include "data/phylo16s.hpp"
+#include "util/cli.hpp"
+#include "util/provenance.hpp"
+
+namespace {
+
+using namespace pimnw;
+
+struct ModeResult {
+  core::RunReport report;
+  std::uint64_t pairs = 0;
+  double banded_cells = 0.0;
+
+  double seconds_per_alignment() const {
+    return report.makespan_seconds / static_cast<double>(pairs);
+  }
+  double gcups() const {
+    return banded_cells / report.makespan_seconds / 1e9;
+  }
+  /// Per-round marginal host->DPU traffic (the broadcast, when any, is the
+  /// one-time resident-database upload).
+  double marginal_bytes_per_alignment() const {
+    return static_cast<double>(report.bytes_to_dpus -
+                               report.bytes_broadcast) /
+           static_cast<double>(pairs);
+  }
+};
+
+void write_mode(std::ofstream& out, const char* key, const ModeResult& m) {
+  out << "  \"" << key << "\": {\n"
+      << "    \"alignments\": " << m.pairs << ",\n"
+      << "    \"makespan_seconds\": " << m.report.makespan_seconds << ",\n"
+      << "    \"seconds_per_alignment\": " << m.seconds_per_alignment()
+      << ",\n"
+      << "    \"gcups\": " << m.gcups() << ",\n"
+      << "    \"bytes_to_dpus\": " << m.report.bytes_to_dpus << ",\n"
+      << "    \"bytes_broadcast\": " << m.report.bytes_broadcast << ",\n"
+      << "    \"bytes_from_dpus\": " << m.report.bytes_from_dpus << ",\n"
+      << "    \"host_to_dpu_bytes_per_alignment\": "
+      << m.marginal_bytes_per_alignment() << "\n"
+      << "  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_16s",
+          "16S all-vs-all: per-batch re-dispatch vs MRAM-resident database "
+          "session (transfer bytes + modeled time per alignment)");
+  bench::add_common_flags(cli);
+  cli.flag("species", std::int64_t{96},
+           "sequence count (the paper's dataset has 9557)");
+  cli.flag("ranks", std::int64_t{2}, "modeled DPU ranks");
+  cli.flag("top-k", std::int64_t{64},
+           "hits kept by the tiled all-vs-all streaming reduction");
+  cli.flag("paper-scale", false,
+           "run the session sweep at the paper's 9557 sequences (~45.7M "
+           "alignments; hours of simulation, session mode only)");
+  cli.flag("out", std::string("BENCH_16s.json"), "output JSON path");
+  cli.parse(argc, argv);
+  bench::apply_common_flags(cli);
+
+  data::Phylo16sConfig data_config;
+  data_config.species = cli.get_bool("paper-scale")
+                            ? 9557
+                            : static_cast<std::size_t>(
+                                  static_cast<double>(cli.get_int("species")) *
+                                  cli.get_double("scale"));
+  data_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::vector<std::string> seqs = data::generate_16s(data_config);
+  const std::size_t n = seqs.size();
+  const std::uint64_t pair_count =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+
+  core::PimAlignerConfig config;
+  config.nr_ranks = static_cast<int>(cli.get_int("ranks"));
+  config.align.traceback = false;  // score-only, like the paper's Table 5
+
+  double banded_cells = 0.0;
+  std::vector<core::IndexPair> index_pairs;
+  std::vector<core::PairInput> view_pairs;
+  if (!cli.get_bool("paper-scale")) {
+    index_pairs.reserve(pair_count);
+    view_pairs.reserve(pair_count);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      banded_cells += static_cast<double>(core::pair_workload(
+          seqs[i].size(), seqs[j].size(),
+          static_cast<std::uint64_t>(config.align.band_width)));
+      if (!cli.get_bool("paper-scale")) {
+        index_pairs.push_back({static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(j)});
+        view_pairs.push_back({seqs[i], seqs[j]});
+      }
+    }
+  }
+
+  std::printf("16S all-vs-all: %zu sequences, %llu alignments, %d ranks\n", n,
+              static_cast<unsigned long long>(pair_count), config.nr_ranks);
+
+  ModeResult redispatch;
+  ModeResult session_mode;
+  bool scores_identical = true;
+  core::ScoreFilter filter;
+  filter.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
+  std::uint64_t topk_kept = 0;
+  std::int32_t topk_best = 0;
+
+  if (cli.get_bool("paper-scale")) {
+    // Paper scale: the materialized pair list alone would be ~45.7M entries;
+    // only the tiled session sweep (streaming reduction, no N² anywhere)
+    // runs here.
+    core::DbSession session(seqs, config);
+    const core::DbSession::AllVsAllResult sweep =
+        session.align_all_vs_all(filter);
+    session_mode = {sweep.report, sweep.pairs_swept, banded_cells};
+    topk_kept = sweep.hits.size();
+    topk_best = sweep.hits.empty() ? 0 : sweep.hits.front().score;
+  } else {
+    // ---- Mode A: per-batch re-dispatch (both sequences cross the bus with
+    // every pair, every batch).
+    {
+      core::PimAligner aligner(config);
+      std::vector<core::PairOutput> out;
+      redispatch = {aligner.align_pairs(view_pairs, &out), pair_count,
+                    banded_cells};
+
+      // ---- Mode B: resident-database session over the same pairs.
+      core::DbSession session(seqs, config);
+      std::vector<core::PairOutput> session_out;
+      session_mode = {session.align_pairs(index_pairs, &session_out),
+                      pair_count, banded_cells};
+
+      for (std::size_t p = 0; p < out.size(); ++p) {
+        if (out[p].score != session_out[p].score ||
+            out[p].ok != session_out[p].ok) {
+          scores_identical = false;
+          break;
+        }
+      }
+    }
+    // ---- Tiled top-K sweep through the streaming reducer (fresh session so
+    // its report is not mixed into mode B's).
+    {
+      core::DbSession session(seqs, config);
+      const core::DbSession::AllVsAllResult sweep =
+          session.align_all_vs_all(filter);
+      topk_kept = sweep.hits.size();
+      topk_best = sweep.hits.empty() ? 0 : sweep.hits.front().score;
+    }
+  }
+
+  const bool compared = !cli.get_bool("paper-scale");
+  const double bytes_ratio =
+      compared ? redispatch.marginal_bytes_per_alignment() /
+                     session_mode.marginal_bytes_per_alignment()
+               : 0.0;
+  const double speedup = compared ? redispatch.seconds_per_alignment() /
+                                        session_mode.seconds_per_alignment()
+                                  : 0.0;
+
+  if (compared) {
+    std::printf(
+        "re-dispatch: %.3e s/aln, %.1f B/aln to DPUs\n"
+        "session:     %.3e s/aln, %.1f B/aln marginal "
+        "(+%llu B broadcast once)\n"
+        "bytes ratio %.1fx, speedup %.2fx, scores %s\n",
+        redispatch.seconds_per_alignment(),
+        redispatch.marginal_bytes_per_alignment(),
+        session_mode.seconds_per_alignment(),
+        session_mode.marginal_bytes_per_alignment(),
+        static_cast<unsigned long long>(session_mode.report.bytes_broadcast),
+        bytes_ratio, speedup, scores_identical ? "identical" : "DIFFER");
+  } else {
+    std::printf("paper-scale session sweep: %.3e s/aln, %.1f B/aln marginal\n",
+                session_mode.seconds_per_alignment(),
+                session_mode.marginal_bytes_per_alignment());
+  }
+  std::printf("top-%zu sweep kept %llu hits (best score %d)\n", filter.top_k,
+              static_cast<unsigned long long>(topk_kept), topk_best);
+
+  const std::string path = cli.get_string("out");
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"species\": " << n << ",\n";
+  out << "  \"alignments\": " << pair_count << ",\n";
+  out << "  \"ranks\": " << config.nr_ranks << ",\n";
+  out << "  \"paper_scale\": " << (cli.get_bool("paper-scale") ? 1 : 0)
+      << ",\n";
+  out << "  \"provenance\": " << provenance_json(core::params_json(config))
+      << ",\n";
+  if (compared) {
+    write_mode(out, "redispatch", redispatch);
+    out << ",\n";
+  }
+  write_mode(out, "session", session_mode);
+  out << ",\n";
+  out << "  \"topk\": { \"k\": " << filter.top_k
+      << ", \"kept\": " << topk_kept << ", \"best_score\": " << topk_best
+      << " },\n";
+  if (compared) {
+    out << "  \"bytes_per_alignment_ratio\": " << bytes_ratio << ",\n";
+    out << "  \"speedup_session_vs_redispatch\": " << speedup << ",\n";
+    out << "  \"scores_identical\": " << (scores_identical ? 1 : 0) << "\n";
+  } else {
+    out << "  \"scores_identical\": null\n";
+  }
+  out << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return scores_identical ? 0 : 1;
+}

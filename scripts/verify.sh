@@ -14,6 +14,10 @@
 # profiler of DESIGN.md §12), and the default preset smoke-runs the
 # pimnw_prof example.
 #
+# Each preset also runs the "16s" ctest label (persistent-database sessions,
+# DESIGN.md §13): bit-identity of the session path, the exactly-once tiling
+# property, the streaming reduction and the bounded-footprint reset.
+#
 # A --tidy flag adds a clang-tidy pass (the .clang-tidy profile) over the
 # core orchestration and simulator sources; it is skipped with a notice when
 # clang-tidy is not installed, so the stage is safe to request everywhere.
@@ -70,6 +74,8 @@ for preset in "${PRESETS[@]}"; do
   ctest --test-dir "$BUILD_DIR" -L trace -j "$JOBS" --output-on-failure
   echo "=== [$preset] ctest -L prof"
   ctest --test-dir "$BUILD_DIR" -L prof -j "$JOBS" --output-on-failure
+  echo "=== [$preset] ctest -L 16s"
+  ctest --test-dir "$BUILD_DIR" -L 16s -j "$JOBS" --output-on-failure
   if [ "$preset" = default ]; then
     echo "=== [$preset] pimnw_prof smoke"
     "$BUILD_DIR/examples/pimnw_prof" --pairs 96 --length 300 >/dev/null
@@ -77,9 +83,9 @@ for preset in "${PRESETS[@]}"; do
 done
 
 if [ "$RUN_BENCH" -eq 1 ]; then
-  echo "=== [bench] rebuild micro_kernels (default preset)"
+  echo "=== [bench] rebuild micro_kernels + bench_16s (default preset)"
   cmake --preset default >/dev/null
-  cmake --build --preset default -j "$JOBS" --target micro_kernels
+  cmake --build --preset default -j "$JOBS" --target micro_kernels bench_16s
   BENCH_TMP=$(mktemp -d)
   trap 'rm -rf "$BENCH_TMP"' EXIT
   echo "=== [bench] regenerate BENCH_kernel.json (timing emitter only)"
@@ -89,6 +95,10 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   echo "=== [bench] diff vs committed baseline"
   python3 scripts/bench_diff.py BENCH_kernel.json \
       "$BENCH_TMP/BENCH_kernel.json"
+  echo "=== [bench] regenerate BENCH_16s.json (session vs re-dispatch)"
+  "$ROOT/build/bench/bench_16s" --out "$BENCH_TMP/BENCH_16s.json" >/dev/null
+  echo "=== [bench] diff vs committed baseline"
+  python3 scripts/bench_diff.py BENCH_16s.json "$BENCH_TMP/BENCH_16s.json"
 fi
 
 echo "verify.sh: all presets green (${PRESETS[*]})"

@@ -32,6 +32,7 @@
 #include "align/wfa.hpp"
 #include "baseline/ksw2_like.hpp"
 #include "core/host.hpp"
+#include "core/session.hpp"
 #include "core/types.hpp"
 
 namespace pimnw {
@@ -40,7 +41,8 @@ class ThreadPool;
 
 namespace pimnw::core {
 
-enum class BackendKind { kPim, kCpu, kWfa };
+enum class BackendKind { kPim, kCpu, kWfa, kSession };
+inline constexpr int kBackendKinds = 4;
 
 const char* backend_kind_name(BackendKind kind);
 std::optional<BackendKind> parse_backend_kind(std::string_view name);
@@ -76,8 +78,11 @@ struct BackendReport {
   /// DP / wavefront cells computed on the host (measured backends).
   std::uint64_t total_cells = 0;
   double cells_per_second = 0.0;  // total_cells / measured_seconds
-  /// Full PiM orchestration report, merged over submissions (PimBackend
-  /// only; additive fields summed, ratio fields batch-weighted).
+  /// Full PiM orchestration report (PimBackend and SessionBackend). For
+  /// PimBackend it is merged over submissions (additive fields summed,
+  /// ratio fields batch-weighted); for SessionBackend it is the session's
+  /// *cumulative* report — the one-time database broadcast amortizes across
+  /// submissions, so per-submission deltas would misattribute it.
   RunReport pim;
 };
 
@@ -189,6 +194,55 @@ class PimBackend : public AlignerBackend {
   Ticket next_ticket_ = 1;
   std::map<Ticket, std::span<const PairInput>> queued_;
   BackendReport accum_;
+};
+
+/// A persistent-database session behind the backend interface (DESIGN.md
+/// §13): the 2-bit-packed database is broadcast to every bank's MRAM once at
+/// construction; each submitted batch then moves only 8-byte index pairs out
+/// and 16-byte score records back. Submitted PairInputs must view sequences
+/// of the session database (resolved by content); an unknown sequence fails
+/// a check — this backend serves workloads whose pairs are drawn from a
+/// fixed set, not arbitrary inputs. Score-only by definition
+/// (capabilities().traceback == false). Like PimBackend, submit() only
+/// enqueues and the simulation runs inside wait() on the calling thread.
+class SessionBackend : public AlignerBackend {
+ public:
+  struct Config {
+    /// The resident database (copied into the session at construction).
+    std::vector<std::string> db;
+    PimAlignerConfig aligner;
+    /// Simulation wall-clock throughput assumed by estimate_seconds
+    /// (banded cells per second), as PimBackend::Config.
+    double sim_cells_per_second = 400e6;
+  };
+
+  explicit SessionBackend(Config config);
+  ~SessionBackend() override;
+
+  BackendKind kind() const override { return BackendKind::kSession; }
+  BackendCapabilities capabilities() const override;
+  double estimate_seconds(std::size_t len_a, std::size_t len_b) const override;
+  Ticket submit(std::span<const PairInput> pairs) override;
+  std::vector<PairOutput> wait(Ticket ticket) override;
+  BackendReport drain() override;
+
+  /// The underlying session (e.g. for align_all_vs_all sweeps that bypass
+  /// the pair-batch interface).
+  DbSession& session() { return *session_; }
+
+ private:
+  Config config_;
+  /// Content → database index over config_.db (keys view the owned
+  /// strings, which never move after construction).
+  std::map<std::string_view, std::uint32_t> index_;
+  std::unique_ptr<DbSession> session_;
+  std::mutex mutex_;
+  Ticket next_ticket_ = 1;
+  std::map<Ticket, std::span<const PairInput>> queued_;
+  BackendReport accum_;
+  /// Session makespan already folded into accum_.modeled_seconds — the
+  /// session report is cumulative, so each wait() adds only its delta.
+  double reported_makespan_ = 0.0;
 };
 
 /// The KSW2-like banded CPU baseline behind the backend interface

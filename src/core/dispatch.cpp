@@ -162,16 +162,18 @@ DispatchReport Dispatcher::align(std::span<const PairInput> pairs,
     report.routed[static_cast<std::size_t>(backends_[b]->kind())] +=
         bucket[b].size();
   }
+  // Wait the modeled backends (PiM, session) first: their simulations run
+  // on this thread while the pool workers chew the host backends' pairs.
   std::vector<std::size_t> wait_order;
   for (std::size_t b = 0; b < backends_.size(); ++b) {
     if (ticket[b].has_value() &&
-        backends_[b]->kind() == BackendKind::kPim) {
+        backends_[b]->capabilities().modeled_time) {
       wait_order.push_back(b);
     }
   }
   for (std::size_t b = 0; b < backends_.size(); ++b) {
     if (ticket[b].has_value() &&
-        backends_[b]->kind() != BackendKind::kPim) {
+        !backends_[b]->capabilities().modeled_time) {
       wait_order.push_back(b);
     }
   }
@@ -201,10 +203,10 @@ void write_dispatch_json(std::ostream& out, const DispatchReport& report) {
   out << "  \"total_pairs\": " << report.total_pairs << ",\n";
   out << "  \"aligned\": " << report.aligned << ",\n";
   out << "  \"routed\": { ";
-  for (int k = 0; k < 3; ++k) {
+  for (int k = 0; k < kBackendKinds; ++k) {
     out << "\"" << backend_kind_name(static_cast<BackendKind>(k))
         << "\": " << report.routed[static_cast<std::size_t>(k)]
-        << (k + 1 < 3 ? ", " : " ");
+        << (k + 1 < kBackendKinds ? ", " : " ");
   }
   out << "},\n";
   out << "  \"backends\": [\n";

@@ -55,7 +55,7 @@ struct DispatchReport {
   std::uint64_t total_pairs = 0;
   std::uint64_t aligned = 0;
   /// Pairs routed to each BackendKind (indexed by static_cast<int>(kind)).
-  std::array<std::uint64_t, 3> routed{};
+  std::array<std::uint64_t, kBackendKinds> routed{};
   /// One report per registered backend (in registration order), including
   /// the ones that received no pairs this call.
   std::vector<BackendReport> backends;

@@ -258,10 +258,26 @@ struct Batch {
 
   PairEntry pair_entry(DpuContext& ctx, upmem::PoolCost& pool,
                        std::uint32_t index) const {
+    pool.set_phase(upmem::Phase::kSetup);
+    if ((header.flags & kFlagSession) != 0) {
+      // Session rounds carry compact 8-byte entries; the pair's identity is
+      // its table position and there is no CIGAR slot (score-only).
+      SessionPairEntry compact;
+      const std::uint64_t addr =
+          header.pair_table_off + index * sizeof(SessionPairEntry);
+      ctx.mram_read(addr, scratch_, sizeof(SessionPairEntry));
+      pool.dma(sizeof(SessionPairEntry));
+      std::memcpy(&compact, ctx.wram.raw(scratch_, sizeof(SessionPairEntry)),
+                  sizeof(SessionPairEntry));
+      PairEntry entry{};
+      entry.seq_a = compact.seq_a;
+      entry.seq_b = compact.seq_b;
+      entry.global_id = index;
+      return entry;
+    }
     PairEntry entry;
     const std::uint64_t addr =
         header.pair_table_off + index * sizeof(PairEntry);
-    pool.set_phase(upmem::Phase::kSetup);
     ctx.mram_read(addr, scratch_, sizeof(PairEntry));
     pool.dma(sizeof(PairEntry));
     std::memcpy(&entry, ctx.wram.raw(scratch_, sizeof(PairEntry)),
@@ -838,9 +854,25 @@ void PairAligner::flush_runs(const PairEntry& pair, bool final_flush) {
 
 void PairAligner::write_result(std::uint32_t pair_index,
                                const PairResult& result) {
-  // Stage the 16-byte result in WRAM (reuse the run buffer) and DMA it out.
-  // Result write-back is pair bookkeeping → setup phase (dpu_cost.hpp).
+  // Stage the result in WRAM (reuse the run buffer) and DMA it out. Result
+  // write-back is pair bookkeeping → setup phase (dpu_cost.hpp).
   pool_.set_phase(upmem::Phase::kSetup);
+  if ((batch_.header.flags & kFlagSession) != 0) {
+    // Session rounds read back compact 16-byte records: score + status +
+    // pool cycles, no CIGAR run count or per-pair DMA bytes.
+    SessionResult compact{};
+    compact.score = result.score;
+    compact.status = result.status;
+    compact.pool_cycles_lo = result.pool_cycles_lo;
+    compact.pool_cycles_hi = result.pool_cycles_hi;
+    std::memcpy(buf_.run_buf.data(), &compact, sizeof(SessionResult));
+    ctx_.mram_write(
+        buf_.run_buf_addr,
+        batch_.header.result_off + pair_index * sizeof(SessionResult),
+        sizeof(SessionResult));
+    pool_.dma(sizeof(SessionResult));
+    return;
+  }
   std::memcpy(buf_.run_buf.data(), &result, sizeof(PairResult));
   ctx_.mram_write(buf_.run_buf_addr,
                   batch_.header.result_off + pair_index * sizeof(PairResult),

@@ -39,9 +39,50 @@ void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
   }
 }
 
+void finalize_session_plan(DpuPlan& plan, const AlignConfig& config,
+                           std::uint64_t db_mram_offset,
+                           std::uint32_t db_nr_seqs) {
+  plan.session = true;
+  plan.image = build_session_round_image(plan.batch, config, db_mram_offset,
+                                         db_nr_seqs);
+  plan.prep_bases = 0;  // the database was packed once, at session open
+  plan.meta.reserve(plan.batch.pairs.size());
+  for (const DpuBatchInput::Pair& pr : plan.batch.pairs) {
+    LocalPairMeta meta{};
+    meta.global_id = pr.global_id;
+    meta.seq_a = pr.seq_a;
+    meta.seq_b = pr.seq_b;
+    plan.meta.push_back(meta);
+  }
+}
+
 void decode_readback(const DpuPlan& plan,
                      const std::vector<std::uint8_t>& readback,
                      std::vector<PairOutput>* out) {
+  if (plan.session) {
+    // Compact score-only records; deliver the whole plan to the sink in one
+    // call so streaming reducers lock once per plan, not once per pair.
+    std::vector<PairOutput> decoded(plan.meta.size());
+    for (std::size_t p = 0; p < plan.meta.size(); ++p) {
+      SessionResult result;
+      std::memcpy(&result, readback.data() + p * sizeof(SessionResult),
+                  sizeof(SessionResult));
+      PairOutput& output = decoded[p];
+      output.ok = result.status == kStatusOk;
+      output.score = output.ok ? result.score : align::kNegInf;
+      output.dpu_pool_cycles =
+          (static_cast<std::uint64_t>(result.pool_cycles_hi) << 32) |
+          result.pool_cycles_lo;
+      output.dpu_dma_bytes = 0;  // not reported in session mode
+    }
+    if (plan.sink != nullptr) plan.sink->consume(plan, decoded);
+    if (out != nullptr) {
+      for (std::size_t p = 0; p < plan.meta.size(); ++p) {
+        (*out)[plan.meta[p].global_id] = std::move(decoded[p]);
+      }
+    }
+    return;
+  }
   for (std::size_t p = 0; p < plan.meta.size(); ++p) {
     PairResult result;
     std::memcpy(&result, readback.data() + p * sizeof(PairResult),
@@ -146,10 +187,45 @@ void ExecEngine::set_broadcast(std::span<const std::uint8_t> bytes,
                                               system_.nr_dpus());
   }
   report_.bytes_to_dpus += stats.bytes;
+  report_.bytes_broadcast += stats.bytes;
   report_.transfer_seconds += stats.seconds;
   for (double& t : rank_free_) t = std::max(t, stats.seconds);
   makespan_ = std::max(makespan_, stats.seconds);
   stats_->on_broadcast(stats.seconds, stats.bytes, config_.nr_ranks);
+}
+
+std::size_t ExecEngine::release_scratch(std::uint64_t resident_off) {
+  std::size_t released = 0;
+  if (config_.engine == EngineMode::kLegacyBarrier) {
+    for (int r = 0; r < system_.nr_ranks(); ++r) {
+      for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+        released += system_.rank(r).dpu(d).mram().release_below(resident_off);
+      }
+    }
+    return released;
+  }
+  // Pipelined arenas: the broadcast chunks live at/above resident_off, so
+  // each arena's broadcast_seen bookkeeping stays valid after the release.
+  for (const std::unique_ptr<Arena>& arena : arenas_) {
+    released += arena->dpu.mram().release_below(resident_off);
+  }
+  return released;
+}
+
+std::uint64_t ExecEngine::max_bank_footprint() const {
+  std::uint64_t worst = 0;
+  if (config_.engine == EngineMode::kLegacyBarrier) {
+    for (int r = 0; r < system_.nr_ranks(); ++r) {
+      for (int d = 0; d < upmem::kDpusPerRank; ++d) {
+        worst = std::max(worst, system_.rank(r).dpu(d).mram().footprint());
+      }
+    }
+    return worst;
+  }
+  for (const std::unique_ptr<Arena>& arena : arenas_) {
+    worst = std::max(worst, arena->dpu.mram().footprint());
+  }
+  return worst;
 }
 
 void ExecEngine::run(std::size_t n_batches,

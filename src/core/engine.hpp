@@ -58,6 +58,21 @@ struct LocalPairMeta {
   std::uint32_t global_id = 0;
   std::uint64_t cigar_rel = 0;  // cigar slot offset relative to result_off
   std::uint32_t cigar_cap = 0;
+  std::uint32_t seq_a = 0;  // database indices (session mode; else unused)
+  std::uint32_t seq_b = 0;
+};
+
+struct DpuPlan;
+
+/// Streaming consumer of session-round results (DESIGN.md §13). The engine
+/// calls consume() once per decoded plan, from whichever worker executed it,
+/// so implementations must be thread-safe across plans. `outputs[p]` belongs
+/// to `plan.meta[p]` (seq_a/seq_b carry the database indices).
+class SessionSink {
+ public:
+  virtual ~SessionSink() = default;
+  virtual void consume(const DpuPlan& plan,
+                       std::span<const PairOutput> outputs) = 0;
 };
 
 /// The work of one DPU within a rank-batch: its serialized MRAM image plus
@@ -67,6 +82,11 @@ struct DpuPlan {
   MramImage image;
   std::vector<LocalPairMeta> meta;
   std::uint64_t prep_bases = 0;
+  /// Session round (kFlagSession): compact 16-byte results, no CIGARs.
+  bool session = false;
+  /// Optional streaming consumer; results are still scattered into the
+  /// decode_readback `out` vector when one is supplied.
+  SessionSink* sink = nullptr;
 };
 
 /// One rank-batch of 64 per-DPU plans, built by a caller-supplied closure
@@ -112,6 +132,13 @@ void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
                    std::optional<std::uint64_t> pool_offset = std::nullopt,
                    const SeqPool* shared_pool = nullptr);
 
+/// Serialize a session round plan (DESIGN.md §13): compact pair table, score
+/// -only results, sequence table resident at `db_mram_offset`. Sets
+/// plan.session and fills meta with (global_id, seq_a, seq_b).
+void finalize_session_plan(DpuPlan& plan, const AlignConfig& config,
+                           std::uint64_t db_mram_offset,
+                           std::uint32_t db_nr_seqs);
+
 /// Decode one DPU's readback region into PairOutputs (indexed by global id).
 /// Global ids are unique across a run, so concurrent decodes of different
 /// plans write disjoint `out` slots.
@@ -149,6 +176,16 @@ class ExecEngine {
   void run(std::size_t n_batches,
            const std::function<PreparedBatch(std::size_t)>& build,
            std::vector<PairOutput>* out);
+
+  /// Drop every bank chunk below `resident_off` — the per-round scratch of a
+  /// session — while keeping the resident database (and the arenas'
+  /// broadcast bookkeeping) intact. Returns the number of chunks released
+  /// across all banks.
+  std::size_t release_scratch(std::uint64_t resident_off);
+
+  /// Largest materialised bank footprint (bytes) across the banks this
+  /// engine executes on — the session footprint-bound test's probe.
+  std::uint64_t max_bank_footprint() const;
 
   RunReport finish();
 

@@ -52,6 +52,10 @@ struct RunReport {
   std::uint64_t batches = 0;
   std::uint64_t total_pairs = 0;
   std::uint64_t bytes_to_dpus = 0;
+  /// Portion of bytes_to_dpus that was one-time broadcast traffic (the
+  /// all-vs-all pool / session database, counted once per DPU bank). The
+  /// per-round marginal traffic is bytes_to_dpus - bytes_broadcast.
+  std::uint64_t bytes_broadcast = 0;
   std::uint64_t bytes_from_dpus = 0;
   std::uint64_t total_instructions = 0;
   std::uint64_t total_dma_bytes = 0;

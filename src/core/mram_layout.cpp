@@ -179,6 +179,92 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
   return image;
 }
 
+std::vector<std::uint8_t> build_session_db_image(const SeqPool& pool,
+                                                 std::uint64_t db_mram_offset) {
+  const std::uint32_t nr_seqs = pool.size();
+  const std::uint64_t table_bytes =
+      align8(static_cast<std::uint64_t>(nr_seqs) * sizeof(SeqEntry));
+  const std::uint64_t pool_base = db_mram_offset + table_bytes;
+  PIMNW_CHECK_MSG(pool_base + pool.bytes().size() <= upmem::kMramBytes,
+                  "session database (" << table_bytes + pool.bytes().size()
+                                       << " bytes at " << db_mram_offset
+                                       << ") overflows the 64 MB bank");
+
+  std::vector<std::uint8_t> bytes(align8(table_bytes + pool.bytes().size()), 0);
+  for (std::uint32_t s = 0; s < nr_seqs; ++s) {
+    SeqEntry entry{};
+    entry.data_off = pool_base + pool.entry(s).offset;
+    entry.length = pool.entry(s).length;
+    std::memcpy(bytes.data() + s * sizeof(SeqEntry), &entry, sizeof(entry));
+  }
+  if (!pool.bytes().empty()) {
+    std::memcpy(bytes.data() + table_bytes, pool.bytes().data(),
+                pool.bytes().size());
+  }
+  return bytes;
+}
+
+MramImage build_session_round_image(const DpuBatchInput& batch,
+                                    const AlignConfig& config,
+                                    std::uint64_t db_mram_offset,
+                                    std::uint32_t db_nr_seqs) {
+  PIMNW_CHECK_MSG(!config.traceback,
+                  "session rounds are score-only; traceback requires the "
+                  "per-batch path");
+  const std::uint32_t nr_pairs = static_cast<std::uint32_t>(batch.pairs.size());
+
+  BatchHeader header{};
+  header.magic = kBatchMagic;
+  header.nr_seqs = db_nr_seqs;
+  header.nr_pairs = nr_pairs;
+  header.band_width = static_cast<std::int32_t>(config.band_width);
+  header.flags = kFlagSession;
+  header.match = config.scoring.match;
+  header.mismatch = config.scoring.mismatch;
+  header.gap_open = config.scoring.gap_open;
+  header.gap_extend = config.scoring.gap_extend;
+
+  // The sequence table lives in the resident database region, not the round
+  // image; the kernel only needs its absolute offset.
+  header.seq_table_off = db_mram_offset;
+  header.pair_table_off = align8(sizeof(BatchHeader));
+  header.result_off = align8(header.pair_table_off +
+                             static_cast<std::uint64_t>(nr_pairs) *
+                                 sizeof(SessionPairEntry));
+  const std::uint64_t readback_end =
+      header.result_off +
+      static_cast<std::uint64_t>(nr_pairs) * sizeof(SessionResult);
+  header.cigar_off = readback_end;
+  header.bt_scratch_off = readback_end;
+  header.bt_scratch_stride = 0;
+  header.total_bytes = readback_end;
+
+  PIMNW_CHECK_MSG(readback_end <= db_mram_offset,
+                  "session round image ("
+                      << readback_end
+                      << " bytes) collides with the resident database at "
+                      << db_mram_offset);
+
+  MramImage image;
+  image.bytes.assign(header.result_off, 0);
+  std::memcpy(image.bytes.data(), &header, sizeof(header));
+  for (std::uint32_t p = 0; p < nr_pairs; ++p) {
+    const auto& pr = batch.pairs[p];
+    PIMNW_CHECK_MSG(pr.seq_a < db_nr_seqs && pr.seq_b < db_nr_seqs,
+                    "session pair " << p
+                                    << " references sequences outside the "
+                                       "resident database");
+    SessionPairEntry entry{pr.seq_a, pr.seq_b};
+    std::memcpy(image.bytes.data() + header.pair_table_off +
+                    p * sizeof(SessionPairEntry),
+                &entry, sizeof(entry));
+  }
+  image.result_off = header.result_off;
+  image.readback_bytes = readback_end - header.result_off;
+  image.total_bytes = readback_end;
+  return image;
+}
+
 dna::Cigar decode_cigar(std::span<const std::uint32_t> reversed_runs) {
   dna::Cigar cigar;
   for (auto it = reversed_runs.rbegin(); it != reversed_runs.rend(); ++it) {

@@ -55,6 +55,11 @@ struct BatchHeader {
 static_assert(sizeof(BatchHeader) == 96);
 
 inline constexpr std::uint32_t kFlagTraceback = 1u;
+/// Session mode (DESIGN.md §13): the sequence table is resident in the
+/// broadcast region, the pair table holds compact SessionPairEntry records
+/// and the results region holds compact SessionResult records. Mutually
+/// exclusive with kFlagTraceback — sessions are score-only.
+inline constexpr std::uint32_t kFlagSession = 2u;
 
 struct SeqEntry {
   std::uint64_t data_off;  // absolute MRAM offset of the packed bases
@@ -90,6 +95,26 @@ struct PairResult {
   std::uint32_t dma_bytes;
 };
 static_assert(sizeof(PairResult) == 24);
+
+/// Session-mode work descriptor: only the two database indices cross the bus
+/// per alignment (kFlagSession). The pair's identity is its table position;
+/// there is no CIGAR slot (sessions are score-only).
+struct SessionPairEntry {
+  std::uint32_t seq_a;  // index into the resident database table
+  std::uint32_t seq_b;
+};
+static_assert(sizeof(SessionPairEntry) == 8);
+
+/// Session-mode result: score plus the pool cycles the projection needs
+/// (core/projection.hpp). No CIGAR run count, no per-pair DMA bytes — a
+/// third of the PairResult readback.
+struct SessionResult {
+  std::int32_t score;
+  std::uint32_t status;
+  std::uint32_t pool_cycles_lo;
+  std::uint32_t pool_cycles_hi;
+};
+static_assert(sizeof(SessionResult) == 16);
 
 /// CIGAR run encoding in MRAM: op in the top 2 bits, length below.
 inline constexpr std::uint32_t kCigarLenBits = 30;
@@ -149,5 +174,26 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
 
 /// Decode one pair's CIGAR from its (reversed) run slot.
 dna::Cigar decode_cigar(std::span<const std::uint32_t> reversed_runs);
+
+/// Session database image (DESIGN.md §13): broadcast once to every DPU at
+/// `db_mram_offset` and kept resident across rounds. Layout:
+///
+///   [ SeqEntry x pool.size() ]   offsets absolute (into the pool below)
+///   [ sequence pool ]            2-bit packed bases
+///
+/// Returns the raw bytes; the caller broadcasts them via
+/// ExecEngine::set_broadcast / DpuSet::broadcast.
+std::vector<std::uint8_t> build_session_db_image(const SeqPool& pool,
+                                                 std::uint64_t db_mram_offset);
+
+/// One session round's per-DPU image: a kFlagSession header pointing its
+/// seq_table_off at the resident database, a compact SessionPairEntry work
+/// list, and a SessionResult region the DPU fills in. No CIGAR slots, no BT
+/// scratch beyond the band buffers the kernel always keeps in WRAM.
+/// Throws CheckError if the round image would collide with `db_mram_offset`.
+MramImage build_session_round_image(const DpuBatchInput& batch,
+                                    const AlignConfig& config,
+                                    std::uint64_t db_mram_offset,
+                                    std::uint32_t db_nr_seqs);
 
 }  // namespace pimnw::core

@@ -143,6 +143,11 @@ void StatsCollector::on_launch(
 
 void StatsCollector::on_broadcast(double seconds, std::uint64_t bytes,
                                   int nr_ranks) {
+  // The counters are recorded whether or not tracing is on — the JSON
+  // report's broadcast attribution must not depend on a trace sink.
+  ++broadcasts_;
+  broadcast_bytes_ += bytes;
+  broadcast_seconds_ += seconds;
   if (!trace::enabled()) return;
   for (int r = 0; r < nr_ranks; ++r) {
     name_rank_lanes(r);
@@ -200,6 +205,11 @@ void StatsCollector::write_json(std::ostream& out,
   out << "  \"prefetch\": { \"hits\": " << prefetch_hits_
       << ", \"misses\": " << prefetch_misses_ << " },\n";
   out << "  \"bytes_to_dpus\": " << report.bytes_to_dpus << ",\n";
+  out << "  \"broadcast\": { \"count\": " << broadcasts_
+      << ", \"bytes\": " << broadcast_bytes_
+      << ", \"seconds\": " << broadcast_seconds_ << " },\n";
+  out << "  \"bytes_to_dpus_marginal\": "
+      << report.bytes_to_dpus - report.bytes_broadcast << ",\n";
   out << "  \"bytes_from_dpus\": " << report.bytes_from_dpus << ",\n";
   out << "  \"total_instructions\": " << report.total_instructions << ",\n";
   out << "  \"total_dma_bytes\": " << report.total_dma_bytes << ",\n";

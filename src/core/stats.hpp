@@ -72,8 +72,14 @@ class StatsCollector {
       const std::array<upmem::DpuPhaseProfile, upmem::kDpusPerRank>*
           profiles = nullptr);
 
-  /// Record the all-vs-all broadcast (delays every rank equally).
+  /// Record a broadcast (the all-vs-all pool / session database upload;
+  /// delays every rank equally). Counted separately from per-batch launch
+  /// traffic so amortization across session rounds is visible.
   void on_broadcast(double seconds, std::uint64_t bytes, int nr_ranks);
+
+  std::uint64_t broadcasts() const { return broadcasts_; }
+  std::uint64_t broadcast_bytes() const { return broadcast_bytes_; }
+  double broadcast_seconds() const { return broadcast_seconds_; }
 
   /// Banded DP cells of a committed batch (Σ pair_workload) — GCUPS input.
   void add_cells(std::uint64_t cells);
@@ -137,6 +143,9 @@ class StatsCollector {
   std::array<std::uint64_t, 3> verdict_dpus_{};
   std::string params_;
   std::uint64_t cells_ = 0;
+  std::uint64_t broadcasts_ = 0;
+  std::uint64_t broadcast_bytes_ = 0;
+  double broadcast_seconds_ = 0.0;
   std::uint64_t cycles_min_ = ~std::uint64_t{0};
   std::uint64_t cycles_max_ = 0;
   std::uint64_t cycles_sum_ = 0;

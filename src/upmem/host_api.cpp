@@ -90,4 +90,15 @@ TransferStats DpuSet::copy_from(std::uint64_t mram_offset,
   return total;
 }
 
+std::uint64_t DpuSet::release_below(std::uint64_t offset) {
+  std::uint64_t released = 0;
+  for (int r = 0; r < rank_count_; ++r) {
+    Rank& rank = system_->rank(first_rank_ + r);
+    for (int d = 0; d < kDpusPerRank; ++d) {
+      released += rank.dpu(d).mram().release_below(offset);
+    }
+  }
+  return released;
+}
+
 }  // namespace pimnw::upmem

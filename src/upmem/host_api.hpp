@@ -65,6 +65,13 @@ class DpuSet {
                           const std::vector<std::uint64_t>& sizes,
                           std::vector<std::vector<std::uint8_t>>& out);
 
+  /// Persistent-database session reset (DESIGN.md §13): drop every bank
+  /// chunk below `offset` on every DPU of the set, keeping the resident
+  /// database written at/above `offset` by broadcast(). Free (no modeled
+  /// cost): the host releases its own staging memory, nothing crosses the
+  /// bus. Returns the number of chunks released across the set.
+  std::uint64_t release_below(std::uint64_t offset);
+
   /// Escape hatch to the underlying simulator.
   PimSystem& system() { return *system_; }
 

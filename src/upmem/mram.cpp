@@ -58,6 +58,20 @@ void Mram::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
   }
 }
 
+std::uint64_t Mram::release_below(std::uint64_t offset) {
+  const std::uint64_t limit = std::min<std::uint64_t>(
+      chunks_.size(), offset / kChunkBytes);
+  std::uint64_t released = 0;
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (chunks_[i] != nullptr) {
+      chunks_[i].reset();
+      ++released;
+    }
+  }
+  materialised_ -= released;
+  return released;
+}
+
 void Mram::check_dma(std::uint64_t addr, std::uint64_t bytes) const {
   PIMNW_CHECK_MSG(addr % kDmaAlign == 0,
                   "DMA address " << addr << " not 8-byte aligned");

@@ -47,6 +47,14 @@ class Mram {
     materialised_ = 0;
   }
 
+  /// Session reset (DESIGN.md §13): drop every materialised chunk that lies
+  /// entirely below `offset` — the per-round scratch of a persistent-
+  /// database session — while chunks at or above `offset` (the resident
+  /// database) stay untouched. Returns the number of chunks released.
+  /// Subsequent reads of released chunks yield zeros, as for never-written
+  /// ones.
+  std::uint64_t release_below(std::uint64_t offset);
+
  private:
   static constexpr std::uint64_t kChunkBytes = 64ull * 1024;
 

@@ -113,5 +113,23 @@ TEST(DpuSetTest, OversizedBufferListRejected) {
   EXPECT_THROW(set.copy_to(0, buffers), CheckError);
 }
 
+TEST(DpuSetTest, ReleaseBelowDropsScratchOnEveryBank) {
+  // Session reset across the whole set: scratch below the resident offset
+  // is dropped on every bank, the resident region survives everywhere.
+  DpuSet set = DpuSet::allocate_ranks(2);
+  const std::uint64_t resident_off = 2 * 64 * 1024;
+  (void)set.broadcast(0, u64_bytes(1));             // scratch chunk 0
+  (void)set.broadcast(resident_off, u64_bytes(2));  // resident chunk 2
+  EXPECT_EQ(set.release_below(resident_off),
+            static_cast<std::uint64_t>(set.nr_dpus()));
+
+  std::vector<std::uint8_t> back(8);
+  set.system().rank(1).dpu(63).mram().read(0, back);
+  EXPECT_EQ(u64_of(back), 0u);  // scratch gone
+  set.system().rank(1).dpu(63).mram().read(resident_off, back);
+  EXPECT_EQ(u64_of(back), 2u);  // resident intact
+  EXPECT_EQ(set.release_below(resident_off), 0u);
+}
+
 }  // namespace
 }  // namespace pimnw::upmem

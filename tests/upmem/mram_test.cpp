@@ -91,5 +91,33 @@ TEST(MramTest, ZeroLengthHostAccessOk) {
   EXPECT_NO_THROW(mram.read(0, std::span<std::uint8_t>{}));
 }
 
+TEST(MramTest, ReleaseBelowDropsOnlyWholeChunksBelowOffset) {
+  // Session reset (DESIGN.md §13): chunks entirely below the resident
+  // offset are dropped and read back as zero; chunks at/above it survive.
+  Mram mram;
+  const std::uint64_t chunk = 64 * 1024;  // kChunkBytes
+  std::vector<std::uint8_t> data(16, 0xAB);
+  mram.write(0, data);              // chunk 0 (scratch)
+  mram.write(chunk, data);          // chunk 1 (scratch)
+  mram.write(4 * chunk, data);      // chunk 4 (resident)
+  EXPECT_EQ(mram.footprint(), 3 * chunk);
+
+  // A straddling offset only frees chunks wholly below it.
+  EXPECT_EQ(mram.release_below(chunk + 8), 1u);
+  EXPECT_EQ(mram.footprint(), 2 * chunk);
+
+  EXPECT_EQ(mram.release_below(4 * chunk), 1u);
+  EXPECT_EQ(mram.footprint(), chunk);
+
+  std::vector<std::uint8_t> readback(16);
+  mram.read(chunk, readback);  // released chunk reads zero again
+  EXPECT_EQ(readback, std::vector<std::uint8_t>(16, 0));
+  mram.read(4 * chunk, readback);  // resident chunk unchanged
+  EXPECT_EQ(readback, data);
+
+  // Idempotent: nothing left below the offset.
+  EXPECT_EQ(mram.release_below(4 * chunk), 0u);
+}
+
 }  // namespace
 }  // namespace pimnw::upmem

@@ -93,10 +93,14 @@ struct RunRow {
 };
 
 /// Best-of-`reps` dispatch of the workload under `config`. Fresh backends
-/// per rep so accounting and calibration never leak between runs.
+/// per rep so accounting and calibration never leak between runs. When
+/// `calibration_file` is non-empty, calibrating runs load the scales from
+/// it instead of probing (probing and saving when it does not exist yet —
+/// so rep 0 measures, later reps and later invocations reuse).
 RunRow run_policy(const std::string& name, const Workload& w,
                   const core::DispatchConfig& config, ThreadPool& workers,
-                  int reps, bool calibrate) {
+                  int reps, bool calibrate,
+                  const std::string& calibration_file = std::string()) {
   RunRow row;
   row.name = name;
   row.report.wall_seconds = 1e100;
@@ -105,7 +109,14 @@ RunRow run_policy(const std::string& name, const Workload& w,
     core::CpuBackend cpu(core::CpuBackend::Config{}, &workers);
     core::WfaBackend wfa(core::WfaBackend::Config{}, &workers);
     core::Dispatcher dispatcher(config, {&pim, &cpu, &wfa});
-    if (calibrate) dispatcher.calibrate(w.probe, w.probe.size());
+    if (calibrate) {
+      if (calibration_file.empty()) {
+        dispatcher.calibrate(w.probe, w.probe.size());
+      } else if (!dispatcher.load_calibration_file(calibration_file)) {
+        dispatcher.calibrate(w.probe, w.probe.size());
+        dispatcher.save_calibration_file(calibration_file);
+      }
+    }
     std::vector<core::PairOutput> out;
     core::DispatchReport report = dispatcher.align(w.pairs, &out);
     if (report.wall_seconds < row.report.wall_seconds) {
@@ -139,6 +150,9 @@ int main(int argc, char** argv) {
   cli.flag("reps", std::int64_t{3}, "repetitions (best-of)");
   cli.flag("seed", std::int64_t{11}, "dataset seed");
   cli.flag("out", std::string("BENCH_backend.json"), "output JSON path");
+  cli.flag("calibration-file", std::string(""),
+           "persist cost-model calibration: load scales from this JSON if "
+           "present, else probe once and save them to it");
   cli.flag("log-level", std::string("info"),
            "stderr log level: debug | info | warn | error");
   cli.parse(argc, argv);
@@ -197,7 +211,8 @@ int main(int argc, char** argv) {
     core::DispatchConfig config;
     config.policy = core::RoutePolicy::kCostModel;
     rows.push_back(run_policy("cost", w, config, workers, reps,
-                              /*calibrate=*/true));
+                              /*calibrate=*/true,
+                              cli.get_string("calibration-file")));
   }
 
   const double cost_seconds = rows.back().report.wall_seconds;

@@ -1,0 +1,217 @@
+// pimnw_serve — run the streaming alignment service under a synthetic
+// client load (ISSUE 7, DESIGN.md §14).
+//
+// Spins up an AlignService over the full backend set (PiM + CPU + WFA
+// behind the dispatcher), then drives it from --clients threads submitting
+// individual pairs with Poisson inter-arrival times at --rate requests/s
+// per client (rate 0 = closed loop: each client submits its next pair the
+// moment the previous future resolves). Prints the admission/latency
+// metrics and writes them as JSON; with --trace-out the Perfetto trace
+// shows the coalescer's queue-wait spans next to the dispatch spans, over
+// the queue-depth and modeled-backlog counter tracks.
+//
+// --calibration-file persists Dispatcher::calibrate's per-backend cost
+// scales: loaded when the file exists (service starts routing on measured
+// throughput immediately), measured-and-saved when it does not — the
+// warm-up probes run once per machine, not once per process.
+//
+// Examples:
+//   pimnw_serve --pairs 2000 --clients 8                 # closed loop
+//   pimnw_serve --rate 500 --deadline-ms 20 --policy cost # open loop
+//   pimnw_serve --max-queue-pairs 256 --linger-ms 1      # strict latency
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/dispatch.hpp"
+#include "core/service.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+/// Exponential inter-arrival gap for a Poisson process at `rate` per
+/// second.
+double poisson_gap_seconds(pimnw::Xoshiro256& rng, double rate) {
+  double u = rng.uniform();
+  if (u <= 0.0) u = 1e-12;
+  return -std::log(u) / rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimnw;
+  Cli cli("pimnw_serve",
+          "drive the streaming alignment service with synthetic clients");
+  cli.flag("pairs", std::int64_t{1024}, "total requests across all clients");
+  cli.flag("length", std::int64_t{500}, "read length");
+  cli.flag("error-rate", 0.08, "per-base divergence of the synthetic pairs");
+  cli.flag("clients", std::int64_t{4}, "client threads");
+  cli.flag("rate", 0.0,
+           "open-loop request rate per client (req/s; 0 = closed loop)");
+  cli.flag("deadline-ms", 0.0, "per-request deadline (0 = none)");
+  cli.flag("linger-ms", 2.0, "admission window: max linger of the oldest "
+           "request before an under-full flush");
+  cli.flag("max-batch", std::int64_t{0},
+           "flush threshold in pairs (0 = rank-sized auto)");
+  cli.flag("max-queue-pairs", std::int64_t{0},
+           "backpressure cap on queued pairs (0 = none)");
+  cli.flag("max-backlog-ms", 0.0,
+           "backpressure cap on modeled backlog (0 = none)");
+  cli.flag("block-when-full", false,
+           "block submitters at the cap instead of rejecting");
+  cli.flag("ranks", std::int64_t{2}, "modeled UPMEM ranks");
+  cli.flag("threads", std::int64_t{0},
+           "worker threads (0 = hardware concurrency)");
+  cli.flag("policy", std::string("single"),
+           "routing policy: single | threshold | cost");
+  cli.flag("backend", std::string("pim"),
+           "backend for --policy single: pim | cpu | wfa");
+  cli.flag("calibration-file", std::string(""),
+           "load cost scales from this JSON if present, else calibrate "
+           "and save them to it");
+  cli.flag("seed", std::int64_t{11}, "dataset + arrival seed");
+  cli.flag("json-out", std::string("serve_metrics.json"),
+           "service metrics output path");
+  cli.flag("trace-out", std::string(""),
+           "Chrome/Perfetto trace output path (empty = no trace)");
+  cli.parse(argc, argv);
+
+  auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ThreadPool workers(threads);
+
+  const auto backend_kind = core::parse_backend_kind(cli.get_string("backend"));
+  const auto policy = core::parse_route_policy(cli.get_string("policy"));
+  if (!backend_kind || !policy) {
+    std::fprintf(stderr, "unknown --backend or --policy value\n");
+    return 1;
+  }
+
+  data::SyntheticConfig data_config;
+  data_config.pair_count = static_cast<std::size_t>(cli.get_int("pairs"));
+  data_config.read_length = static_cast<std::size_t>(cli.get_int("length"));
+  data_config.errors.error_rate = cli.get_double("error-rate");
+  data_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const data::PairDataset dataset = data::generate_synthetic(data_config);
+  std::vector<core::PairInput> pairs;
+  pairs.reserve(dataset.pairs.size());
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+
+  core::PimBackend::Config pim_config;
+  pim_config.aligner.nr_ranks = static_cast<int>(cli.get_int("ranks"));
+  pim_config.aligner.workers = &workers;
+  core::PimBackend pim(pim_config);
+  core::CpuBackend cpu(core::CpuBackend::Config{}, &workers);
+  core::WfaBackend wfa(core::WfaBackend::Config{}, &workers);
+
+  core::DispatchConfig dispatch_config;
+  dispatch_config.policy = *policy;
+  dispatch_config.single = *backend_kind;
+  core::Dispatcher dispatcher(dispatch_config, {&pim, &cpu, &wfa});
+
+  const std::string calibration_file = cli.get_string("calibration-file");
+  if (!calibration_file.empty()) {
+    if (dispatcher.load_calibration_file(calibration_file)) {
+      std::printf("loaded calibration from %s\n", calibration_file.c_str());
+    } else {
+      dispatcher.calibrate(pairs);
+      dispatcher.save_calibration_file(calibration_file);
+      std::printf("calibrated and saved %s\n", calibration_file.c_str());
+    }
+  }
+
+  core::ServiceConfig service_config;
+  service_config.max_batch_pairs =
+      static_cast<std::size_t>(cli.get_int("max-batch"));
+  service_config.max_linger_seconds = cli.get_double("linger-ms") * 1e-3;
+  service_config.max_queue_pairs =
+      static_cast<std::size_t>(cli.get_int("max-queue-pairs"));
+  service_config.max_backlog_seconds = cli.get_double("max-backlog-ms") * 1e-3;
+  service_config.block_when_full = cli.get_bool("block-when-full");
+
+  const bool tracing = !cli.get_string("trace-out").empty();
+  if (tracing) {
+    trace::set_enabled(true);
+    trace::set_thread_name("main");
+  }
+
+  core::AlignService service(&dispatcher, service_config);
+  const double rate = cli.get_double("rate");
+  const double deadline = cli.get_double("deadline-ms") * 1e-3;
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+
+  Stopwatch wall;
+  std::vector<std::thread> client_threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed")) * 977 +
+                     c);
+      std::vector<std::future<core::ServiceResult>> inflight;
+      for (std::size_t p = c; p < pairs.size(); p += clients) {
+        if (rate > 0) {
+          const double gap = poisson_gap_seconds(rng, rate);
+          std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+          inflight.push_back(service.submit(pairs[p], deadline));
+        } else {
+          // Closed loop: at most one outstanding request per client.
+          service.submit(pairs[p], deadline).wait();
+        }
+      }
+      for (auto& f : inflight) f.wait();
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  service.stop();
+  const double wall_seconds = wall.seconds();
+  if (tracing) trace::set_enabled(false);
+
+  const core::ServiceMetrics metrics = service.metrics();
+  std::printf(
+      "%zu requests, %zu clients, %s: completed %llu, rejected %llu "
+      "(queue) / %llu (deadline), %llu full + %llu linger + %llu drain "
+      "flushes, fill %.2f\n",
+      pairs.size(), clients, rate > 0 ? "open loop" : "closed loop",
+      static_cast<unsigned long long>(metrics.completed),
+      static_cast<unsigned long long>(metrics.rejected_queue_full),
+      static_cast<unsigned long long>(metrics.rejected_deadline),
+      static_cast<unsigned long long>(metrics.flushes_full),
+      static_cast<unsigned long long>(metrics.flushes_linger),
+      static_cast<unsigned long long>(metrics.flushes_drain),
+      metrics.batch_fill_mean);
+  std::printf(
+      "throughput %.0f pairs/s (wall %.3f s, busy %.3f s), latency p50 "
+      "%.2f ms / p90 %.2f ms / p99 %.2f ms (queue p50 %.2f ms)\n",
+      wall_seconds > 0 ? static_cast<double>(metrics.completed) / wall_seconds
+                       : 0.0,
+      wall_seconds, metrics.busy_seconds, metrics.total_latency.p50_ms,
+      metrics.total_latency.p90_ms, metrics.total_latency.p99_ms,
+      metrics.queue_wait.p50_ms);
+
+  const std::string json_path = cli.get_string("json-out");
+  std::ofstream json(json_path);
+  if (json.good()) {
+    core::write_service_json(json, metrics);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (tracing && trace::write_json_file(cli.get_string("trace-out"))) {
+    std::printf("wrote %s — open it in https://ui.perfetto.dev\n",
+                cli.get_string("trace-out").c_str());
+  }
+  return 0;
+}

@@ -18,13 +18,21 @@
 # DESIGN.md §13): bit-identity of the session path, the exactly-once tiling
 # property, the streaming reduction and the bounded-footprint reset.
 #
+# Each preset also runs the "serve" ctest label (the streaming alignment
+# service, DESIGN.md §14): submit/coalesce bit-identity, exact latency
+# quantiles, admission-window and backpressure edge cases — the label is in
+# the tsan preset's filter on purpose, the service is the most
+# concurrency-dense layer in the tree. The default preset also smoke-runs
+# the pimnw_serve example.
+#
 # A --tidy flag adds a clang-tidy pass (the .clang-tidy profile) over the
 # core orchestration and simulator sources; it is skipped with a notice when
 # clang-tidy is not installed, so the stage is safe to request everywhere.
 #
 # A --bench flag adds the benchmark regression gate: re-run the
-# BENCH_kernel.json producer (micro_kernels, timing emitter only) into a
-# temporary directory and compare against the committed baseline with
+# BENCH_kernel.json, BENCH_16s.json and BENCH_serve.json producers
+# (micro_kernels timing emitter, bench_16s, serve_bench) into a temporary
+# directory and compare against the committed baselines with
 # scripts/bench_diff.py (direction-aware, 20% tolerance).
 #
 # Usage: scripts/verify.sh [--tidy] [--bench] [preset ...]
@@ -76,16 +84,21 @@ for preset in "${PRESETS[@]}"; do
   ctest --test-dir "$BUILD_DIR" -L prof -j "$JOBS" --output-on-failure
   echo "=== [$preset] ctest -L 16s"
   ctest --test-dir "$BUILD_DIR" -L 16s -j "$JOBS" --output-on-failure
+  echo "=== [$preset] ctest -L serve"
+  ctest --test-dir "$BUILD_DIR" -L serve -j "$JOBS" --output-on-failure
   if [ "$preset" = default ]; then
     echo "=== [$preset] pimnw_prof smoke"
     "$BUILD_DIR/examples/pimnw_prof" --pairs 96 --length 300 >/dev/null
+    echo "=== [$preset] pimnw_serve smoke"
+    "$BUILD_DIR/examples/pimnw_serve" --pairs 128 --length 200 --clients 2 \
+        --json-out "$BUILD_DIR/serve_metrics.json" >/dev/null
   fi
 done
 
 if [ "$RUN_BENCH" -eq 1 ]; then
-  echo "=== [bench] rebuild micro_kernels + bench_16s (default preset)"
+  echo "=== [bench] rebuild micro_kernels + bench_16s + serve_bench (default preset)"
   cmake --preset default >/dev/null
-  cmake --build --preset default -j "$JOBS" --target micro_kernels bench_16s
+  cmake --build --preset default -j "$JOBS" --target micro_kernels bench_16s serve_bench
   BENCH_TMP=$(mktemp -d)
   trap 'rm -rf "$BENCH_TMP"' EXIT
   echo "=== [bench] regenerate BENCH_kernel.json (timing emitter only)"
@@ -99,6 +112,10 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   "$ROOT/build/bench/bench_16s" --out "$BENCH_TMP/BENCH_16s.json" >/dev/null
   echo "=== [bench] diff vs committed baseline"
   python3 scripts/bench_diff.py BENCH_16s.json "$BENCH_TMP/BENCH_16s.json"
+  echo "=== [bench] regenerate BENCH_serve.json (streaming service)"
+  "$ROOT/build/bench/serve_bench" --out "$BENCH_TMP/BENCH_serve.json" >/dev/null
+  echo "=== [bench] diff vs committed baseline"
+  python3 scripts/bench_diff.py BENCH_serve.json "$BENCH_TMP/BENCH_serve.json"
 fi
 
 echo "verify.sh: all presets green (${PRESETS[*]})"

@@ -37,6 +37,7 @@ void merge_run_report(RunReport& into, const RunReport& add) {
   into.host_prep_seconds += add.host_prep_seconds;
   into.batches += add.batches;
   into.total_pairs += add.total_pairs;
+  into.rejected_pairs += add.rejected_pairs;
   into.bytes_to_dpus += add.bytes_to_dpus;
   into.bytes_broadcast += add.bytes_broadcast;
   into.bytes_from_dpus += add.bytes_from_dpus;
@@ -83,6 +84,11 @@ struct PoolBackend::Pending {
   Stopwatch watch;
   double seconds = 0.0;  // written by the last job, mutex held
   bool done = false;     // mutex held
+  /// Set (after done, outside the mutex) by the last job — the lock-free
+  /// park predicate wait() hands to ThreadPool::park (a predicate must not
+  /// take the backend mutex: submit() enqueues while holding it, and
+  /// enqueue takes the pool mutex the predicate runs under).
+  std::atomic<bool> finished{false};
   std::exception_ptr error;  // first failure, mutex held
 };
 
@@ -131,9 +137,18 @@ AlignerBackend::Ticket PoolBackend::submit(std::span<const PairInput> pairs) {
         if (!p->error) p->error = std::current_exception();
       }
       if (p->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        p->seconds = p->watch.seconds();
-        p->done = true;
+        // The waiter frees *p — and may destroy the whole backend — the
+        // moment it observes done under mutex_: publish finished inside the
+        // same critical section (so the waiter's lock acquisition orders it
+        // before the free) and touch nothing of *this afterwards.
+        ThreadPool* pool = pool_;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          p->seconds = p->watch.seconds();
+          p->done = true;
+          p->finished.store(true, std::memory_order_seq_cst);
+        }
+        pool->unpark_all();
       }
     });
   }
@@ -149,15 +164,18 @@ std::vector<PairOutput> PoolBackend::wait(Ticket ticket) {
                     "PoolBackend::wait: unknown or already-waited ticket");
     p = it->second.get();
   }
-  // Help the pool instead of parking: the caller's core keeps chewing
-  // backend jobs (ours or anyone's) until this ticket drains.
+  // Help the pool while there is work; when the queues run dry but this
+  // ticket is still executing on some worker, park on the pool's
+  // sleep/notify hook instead of timed-wait polling (the last job's
+  // unpark_all — or any enqueue — wakes us).
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (p->done) break;
     }
     if (!pool_->help_one()) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      pool_->park(
+          [p] { return p->finished.load(std::memory_order_seq_cst); });
     }
   }
   std::unique_ptr<Pending> owned;
@@ -422,6 +440,7 @@ PairOutput CpuBackend::align_one(const PairInput& pair) const {
       baseline::ksw2_align(pair.a, pair.b, config_.scoring, config_.options);
   PairOutput output;
   output.ok = result.reached_end;
+  output.status = output.ok ? PairStatus::kOk : PairStatus::kUnreachable;
   output.score = result.reached_end ? result.score : align::kNegInf;
   output.cigar = std::move(result.cigar);
   output.cells = result.cells;
@@ -469,6 +488,7 @@ PairOutput WfaBackend::align_one(const PairInput& pair) const {
         align::wfa_align(pair.a, pair.b, config_.scoring, config_.options);
     if (result.has_value()) {
       output.ok = true;
+      output.status = PairStatus::kOk;
       output.score = result->score;
       output.cigar = std::move(result->cigar);
       output.cells = result->cells;
@@ -478,6 +498,7 @@ PairOutput WfaBackend::align_one(const PairInput& pair) const {
         align::wfa_score(pair.a, pair.b, config_.scoring, config_.options);
     if (score.has_value()) {
       output.ok = true;
+      output.status = PairStatus::kOk;
       output.score = *score;
       // Score-only WFA does not report a cell count; charge the modeled
       // estimate so throughput stays comparable.

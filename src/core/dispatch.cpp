@@ -1,9 +1,15 @@
 #include "core/dispatch.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
 
@@ -80,6 +86,70 @@ void Dispatcher::calibrate(std::span<const PairInput> sample,
     // per-backend reports.
     (void)b->drain();
   }
+}
+
+void Dispatcher::save_calibration(std::ostream& out) const {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "{\n  \"cost_scale\": {";
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    out << (i > 0 ? ", " : " ") << "\""
+        << backend_kind_name(backends_[i]->kind())
+        << "\": " << backends_[i]->cost_scale();
+  }
+  out << " }\n}\n";
+}
+
+bool Dispatcher::load_calibration(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  // Minimal scan over our own save format: a "<kind>": <double> entry per
+  // registered backend. All-or-nothing — a partial file would silently skew
+  // the cost-model routing, so any missing/invalid entry rejects the file.
+  std::vector<double> scales(backends_.size(), 1.0);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const std::string key =
+        std::string("\"") + backend_kind_name(backends_[i]->kind()) + "\"";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos) return false;
+    const std::size_t colon = text.find(':', at + key.size());
+    if (colon == std::string::npos) return false;
+    const char* start = text.c_str() + colon + 1;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start || !(value > 0.0)) return false;
+    scales[i] = value;
+  }
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    backends_[i]->set_cost_scale(scales[i]);
+  }
+  return true;
+}
+
+void Dispatcher::save_calibration_file(const std::string& path) const {
+  std::ofstream out(path);
+  PIMNW_CHECK_MSG(out.good(), "cannot write calibration file: path=" << path);
+  save_calibration(out);
+}
+
+bool Dispatcher::load_calibration_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  if (!load_calibration(in)) {
+    PIMNW_WARN("ignoring invalid calibration file: path=" << path);
+    return false;
+  }
+  return true;
+}
+
+double Dispatcher::min_estimate_seconds(std::size_t len_a,
+                                        std::size_t len_b) const {
+  double best = -1.0;
+  for (const AlignerBackend* b : backends_) {
+    const double est = b->estimate_seconds(len_a, len_b);
+    if (best < 0 || est < best) best = est;
+  }
+  return best;
 }
 
 std::vector<std::size_t> Dispatcher::route(

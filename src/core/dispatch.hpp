@@ -21,8 +21,10 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -80,6 +82,25 @@ class Dispatcher {
   /// pairs per backend); call once per workload shape.
   void calibrate(std::span<const PairInput> sample,
                  std::size_t max_probe_pairs = 4);
+
+  /// Persist / restore calibrate()'s per-backend cost scales, so a service
+  /// startup can skip the warm-up probes (--calibration-file on the benches
+  /// and pimnw_serve). JSON shape:
+  ///   { "cost_scale": { "pim": 1.23, "cpu": 0.98 } }
+  void save_calibration(std::ostream& out) const;
+  /// Returns false — leaving every scale untouched — when the stream lacks
+  /// a positive entry for any registered backend.
+  bool load_calibration(std::istream& in);
+  void save_calibration_file(const std::string& path) const;
+  /// False when the file is missing or invalid (caller falls back to
+  /// calibrate()).
+  bool load_calibration_file(const std::string& path);
+
+  /// Smallest calibrated estimate across the registered backends for one
+  /// (len_a, len_b) pair — the admission cost the streaming service's
+  /// backpressure charges per queued pair (under kCostModel it is the work
+  /// the pair will actually cost).
+  double min_estimate_seconds(std::size_t len_a, std::size_t len_b) const;
 
   /// Route, execute, merge. `out` (when non-null) receives one PairOutput
   /// per input pair, in input order regardless of routing.

@@ -69,6 +69,8 @@ void decode_readback(const DpuPlan& plan,
                   sizeof(SessionResult));
       PairOutput& output = decoded[p];
       output.ok = result.status == kStatusOk;
+      output.status =
+          output.ok ? PairStatus::kOk : PairStatus::kUnreachable;
       output.score = output.ok ? result.score : align::kNegInf;
       output.dpu_pool_cycles =
           (static_cast<std::uint64_t>(result.pool_cycles_hi) << 32) |
@@ -89,6 +91,7 @@ void decode_readback(const DpuPlan& plan,
                 sizeof(PairResult));
     PairOutput output;
     output.ok = result.status == kStatusOk;
+    output.status = output.ok ? PairStatus::kOk : PairStatus::kUnreachable;
     output.score = output.ok ? result.score : align::kNegInf;
     output.dpu_pool_cycles =
         (static_cast<std::uint64_t>(result.pool_cycles_hi) << 32) |
@@ -127,8 +130,9 @@ struct ExecEngine::Arena {
 
 /// One in-flight rank-batch. `jobs_left` counts the build job (as a sentinel
 /// so the slot cannot look done while exec jobs are still being posted) plus
-/// one exec job per non-empty plan; `done`/`error` are guarded by the
-/// engine mutex.
+/// one exec job per non-empty plan; `done` is an atomic so the waiter (and
+/// the ThreadPool park predicate, which must not take locks) can read it
+/// without the engine mutex; `error` stays guarded by the engine mutex.
 struct ExecEngine::Slot {
   PreparedBatch prepared;
   std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries;
@@ -136,7 +140,7 @@ struct ExecEngine::Slot {
   std::array<bool, upmem::kDpusPerRank> ran{};
   std::size_t index = 0;  // batch number (trace span labels)
   std::atomic<int> jobs_left{0};
-  bool done = true;
+  std::atomic<bool> done{true};
   std::exception_ptr error;
 };
 
@@ -253,11 +257,7 @@ void ExecEngine::run(std::size_t n_batches,
     {
       // Look-ahead accounting (observability only): did the pipeline have
       // this batch finished before the commit stage asked for it?
-      bool ready;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ready = slot.done;
-      }
+      const bool ready = slot.done.load(std::memory_order_seq_cst);
       stats_->note_prefetch(ready ? 1 : 0, ready ? 0 : 1);
       PIMNW_TRACE_SPAN("wait b" + std::to_string(b));
       wait_for(slot);
@@ -287,9 +287,9 @@ void ExecEngine::schedule(
   slot.ran.fill(false);
   slot.index = index;
   slot.jobs_left.store(1, std::memory_order_relaxed);  // the build sentinel
+  slot.done.store(false, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    slot.done = false;
     slot.error = nullptr;
   }
   pool_->post([this, &slot, &build, index, out] {
@@ -355,26 +355,27 @@ void ExecEngine::exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out) {
 
 void ExecEngine::job_done(Slot& slot) {
   if (slot.jobs_left.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    slot.done = true;
-    cv_.notify_all();
+    // The waiter may destroy the engine (and the slot) the instant it
+    // observes done == true, so nothing of *this may be touched after the
+    // store — snapshot the pool pointer first (the pool, global or
+    // caller-owned, outlives the engine).
+    ThreadPool* pool = pool_;
+    slot.done.store(true, std::memory_order_seq_cst);
+    pool->unpark_all();
   }
 }
 
 void ExecEngine::wait_for(Slot& slot) {
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (slot.done) return;
-    }
-    // Help run jobs (ours or anyone's) instead of parking; fall back to a
-    // short timed wait when the queues look empty but the slot is still
-    // running on some worker.
+  // Help run jobs (ours or anyone's) while there are any; when the queues
+  // run dry but the slot is still executing on some worker, park on the
+  // pool's sleep/notify hook — job_done's unpark_all (or any enqueue) wakes
+  // us the moment there is something to do. No timed-wait polling: in the
+  // single-pair trickle regime a service creates, the old 1 ms fallback put
+  // a floor under every request's latency.
+  while (!slot.done.load(std::memory_order_seq_cst)) {
     if (!pool_->help_one()) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait_for(lock, std::chrono::milliseconds(1),
-                   [&slot] { return slot.done; });
-      if (slot.done) return;
+      pool_->park(
+          [&slot] { return slot.done.load(std::memory_order_seq_cst); });
     }
   }
 }

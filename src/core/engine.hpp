@@ -27,7 +27,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -235,8 +234,7 @@ class ExecEngine {
   // Pipelined-mode state.
   std::vector<std::unique_ptr<Arena>> arenas_;  // [worker_index + 1]
   std::vector<std::unique_ptr<Slot>> slots_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  std::mutex mutex_;  // guards Slot::error
   std::vector<std::uint8_t> broadcast_bytes_;
   std::uint64_t broadcast_off_ = 0;
   std::uint64_t broadcast_version_ = 0;

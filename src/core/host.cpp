@@ -98,6 +98,9 @@ RunReport PimAligner::run_batches(const RunSpec& spec,
 
   if (config_.verify && out != nullptr && spec.pair_of) {
     for (std::size_t p = 0; p < out->size(); ++p) {
+      // Pairs rejected at admission (oversized) were never dispatched; the
+      // reference would happily align them, so there is nothing to compare.
+      if ((*out)[p].status == PairStatus::kOversized) continue;
       const PairInput pair = spec.pair_of(static_cast<std::uint32_t>(p));
       verify_against_reference((*out)[p], pair.a, pair.b, config_.align);
     }
@@ -111,6 +114,32 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
     out->assign(pairs.size(), PairOutput{});
   }
 
+  // Admission check: a pair whose lone-pair MRAM image already exceeds the
+  // bank can never be aligned by any batch composition, so mark its output
+  // PairStatus::kOversized instead of letting build_mram_image abort the
+  // whole run — a service front door cannot crash on one bad request.
+  // Genuinely oversized *batches* (too many pairs per DPU) still fail the
+  // batch-level check, as before.
+  std::vector<std::uint32_t> accepted;
+  accepted.reserve(pairs.size());
+  std::uint64_t rejected = 0;
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (single_pair_image_bytes(pairs[p].a.size(), pairs[p].b.size(),
+                                config_.align, config_.pool) >
+        upmem::kMramBytes) {
+      ++rejected;
+      PIMNW_WARN("rejecting oversized pair: pair=" << p << " len_a="
+                                                   << pairs[p].a.size()
+                                                   << " len_b="
+                                                   << pairs[p].b.size());
+      if (out != nullptr) {
+        (*out)[p].status = PairStatus::kOversized;
+      }
+      continue;
+    }
+    accepted.push_back(static_cast<std::uint32_t>(p));
+  }
+
   const std::size_t batch_pairs =
       config_.batch_pairs != 0
           ? config_.batch_pairs
@@ -118,18 +147,19 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
                 static_cast<std::size_t>(config_.pool.pools) * 2;
 
   RunSpec spec;
-  spec.total_pairs = pairs.size();
-  spec.n_batches = (pairs.size() + batch_pairs - 1) / batch_pairs;
+  spec.total_pairs = accepted.size();
+  spec.n_batches = (accepted.size() + batch_pairs - 1) / batch_pairs;
   // Workload-model-driven LPT across the DPUs of the rank (§4.1.2).
-  spec.assign = [this, pairs, batch_pairs](std::size_t batch_index) {
+  spec.assign = [this, pairs, &accepted, batch_pairs](std::size_t batch_index) {
     const std::size_t batch_start = batch_index * batch_pairs;
     const std::size_t batch_end =
-        std::min(pairs.size(), batch_start + batch_pairs);
+        std::min(accepted.size(), batch_start + batch_pairs);
     std::vector<WorkItem> items;
     items.reserve(batch_end - batch_start);
-    for (std::size_t p = batch_start; p < batch_end; ++p) {
+    for (std::size_t k = batch_start; k < batch_end; ++k) {
+      const std::uint32_t p = accepted[k];
       items.push_back(
-          {static_cast<std::uint32_t>(p),
+          {p,
            pair_workload(pairs[p].a.size(), pairs[p].b.size(),
                          static_cast<std::uint64_t>(config_.align.band_width))});
     }
@@ -142,7 +172,9 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
         {interner.intern(pair.a), interner.intern(pair.b), item.id});
   };
   spec.pair_of = [pairs](std::uint32_t id) { return pairs[id]; };
-  return run_batches(spec, out);
+  RunReport report = run_batches(spec, out);
+  report.rejected_pairs = rejected;
+  return report;
 }
 
 RunReport PimAligner::align_sets(

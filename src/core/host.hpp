@@ -51,6 +51,9 @@ struct RunReport {
   double load_imbalance = 0.0;
   std::uint64_t batches = 0;
   std::uint64_t total_pairs = 0;
+  /// Pairs rejected before dispatch because their lone-pair MRAM image
+  /// exceeds the 64 MB bank (PairStatus::kOversized); not in total_pairs.
+  std::uint64_t rejected_pairs = 0;
   std::uint64_t bytes_to_dpus = 0;
   /// Portion of bytes_to_dpus that was one-time broadcast traffic (the
   /// all-vs-all pool / session database, counted once per DPU bank). The

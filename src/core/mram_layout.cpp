@@ -179,6 +179,32 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
   return image;
 }
 
+std::uint64_t single_pair_image_bytes(std::uint64_t len_a,
+                                      std::uint64_t len_b,
+                                      const AlignConfig& config,
+                                      const PoolConfig& pools) {
+  const std::uint64_t seq_table_off = sizeof(BatchHeader);
+  const std::uint64_t pair_table_off =
+      align8(seq_table_off + 2 * sizeof(SeqEntry));
+  std::uint64_t cursor = align8(pair_table_off + sizeof(PairEntry));
+  // Inline pool: the two packed sequences back to back, each 8-byte aligned,
+  // exactly as SeqPool::build lays them out (a == b dedups to one entry in
+  // the real image; counting both keeps this a worst-case bound).
+  std::uint64_t pool_bytes = align8(dna::PackedSequence::bytes_for(len_a));
+  pool_bytes = align8(pool_bytes + dna::PackedSequence::bytes_for(len_b));
+  cursor = align8(cursor + pool_bytes);
+  cursor += sizeof(PairResult);
+  if (config.traceback) {
+    const std::uint64_t cap = len_a + len_b + 2;  // cigar slot, runs of 4 B
+    cursor = align8(cursor + cap * 4);
+    const std::uint64_t max_diags = len_a + len_b + 1;
+    const std::uint64_t stride =
+        align8(align8(max_diags * 4) + max_diags * bt_row_bytes(config.band_width));
+    cursor += stride * static_cast<std::uint64_t>(pools.pools);
+  }
+  return cursor;
+}
+
 std::vector<std::uint8_t> build_session_db_image(const SeqPool& pool,
                                                  std::uint64_t db_mram_offset) {
   const std::uint32_t nr_seqs = pool.size();

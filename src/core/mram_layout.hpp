@@ -172,6 +172,18 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
                            std::optional<std::uint64_t> pool_mram_offset =
                                std::nullopt);
 
+/// Worst-case MRAM footprint of a batch holding only the pair (len_a,
+/// len_b) with both sequences inline — the admission check for a single
+/// oversized pair. Mirrors build_mram_image's layout arithmetic exactly
+/// (mram_layout_test pins the equality); a pair whose lone-pair footprint
+/// exceeds upmem::kMramBytes cannot be aligned by any batch composition,
+/// so callers reject it per-pair (PairStatus::kOversized) instead of dying
+/// on build_mram_image's batch-level check.
+std::uint64_t single_pair_image_bytes(std::uint64_t len_a,
+                                      std::uint64_t len_b,
+                                      const AlignConfig& config,
+                                      const PoolConfig& pools);
+
 /// Decode one pair's CIGAR from its (reversed) run slot.
 dna::Cigar decode_cigar(std::span<const std::uint32_t> reversed_runs);
 

@@ -1,0 +1,494 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <utility>
+
+#include "upmem/arch.hpp"
+#include "util/check.hpp"
+#include "util/trace.hpp"
+
+namespace pimnw::core {
+
+namespace {
+
+const char* flush_kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "full";
+    case 1:
+      return "linger";
+    case 2:
+      return "drain";
+  }
+  return "?";
+}
+
+/// CAS-max on a high-water mark.
+void raise(std::atomic<std::uint64_t>& mark, std::uint64_t value) {
+  std::uint64_t current = mark.load(std::memory_order_relaxed);
+  while (value > current &&
+         !mark.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// A future already resolved to an undispatched status.
+std::future<ServiceResult> rejected_future(PairStatus status) {
+  std::promise<ServiceResult> promise;
+  std::future<ServiceResult> future = promise.get_future();
+  ServiceResult result;
+  result.output.ok = false;
+  result.output.status = status;
+  promise.set_value(std::move(result));
+  return future;
+}
+
+}  // namespace
+
+double exact_quantile(const std::vector<double>& sorted_ascending, double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted_ascending.size()));
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (index >= sorted_ascending.size()) index = sorted_ascending.size() - 1;
+  return sorted_ascending[index];
+}
+
+LatencyStats summarize_latencies(const std::vector<double>& seconds) {
+  LatencyStats stats;
+  stats.count = seconds.size();
+  if (seconds.empty()) return stats;
+  std::vector<double> sorted(seconds);
+  std::sort(sorted.begin(), sorted.end());
+  const double sum = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  stats.mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
+  stats.p50_ms = exact_quantile(sorted, 0.50) * 1e3;
+  stats.p90_ms = exact_quantile(sorted, 0.90) * 1e3;
+  stats.p99_ms = exact_quantile(sorted, 0.99) * 1e3;
+  stats.max_ms = sorted.back() * 1e3;
+  return stats;
+}
+
+namespace {
+
+void write_latency_json(std::ostream& out, const char* key,
+                        const LatencyStats& stats) {
+  out << "  \"" << key << "\": { \"count\": " << stats.count
+      << ", \"mean\": " << stats.mean_ms << ", \"p50\": " << stats.p50_ms
+      << ", \"p90\": " << stats.p90_ms << ", \"p99\": " << stats.p99_ms
+      << ", \"max\": " << stats.max_ms << " }";
+}
+
+}  // namespace
+
+void write_service_json(std::ostream& out, const ServiceMetrics& metrics) {
+  out << "{\n";
+  out << "  \"submitted\": " << metrics.submitted << ",\n";
+  out << "  \"completed\": " << metrics.completed << ",\n";
+  out << "  \"rejected\": { \"queue_full\": " << metrics.rejected_queue_full
+      << ", \"deadline\": " << metrics.rejected_deadline
+      << ", \"shutdown\": " << metrics.rejected_shutdown << " },\n";
+  out << "  \"flushes\": { \"full\": " << metrics.flushes_full
+      << ", \"linger\": " << metrics.flushes_linger
+      << ", \"drain\": " << metrics.flushes_drain << " },\n";
+  out << "  \"batch_fill_mean\": " << metrics.batch_fill_mean << ",\n";
+  out << "  \"max_queue_depth\": " << metrics.max_queue_depth << ",\n";
+  out << "  \"max_backlog_seconds\": " << metrics.max_backlog_seconds << ",\n";
+  out << "  \"busy_seconds\": " << metrics.busy_seconds << ",\n";
+  out << "  \"modeled_seconds\": " << metrics.modeled_seconds << ",\n";
+  write_latency_json(out, "queue_wait_ms", metrics.queue_wait);
+  out << ",\n";
+  write_latency_json(out, "total_latency_ms", metrics.total_latency);
+  out << "\n}\n";
+}
+
+AlignService::AlignService(Dispatcher* dispatcher, ServiceConfig config)
+    : dispatcher_(dispatcher), config_(config) {
+  PIMNW_CHECK_MSG(dispatcher_ != nullptr, "service needs a dispatcher");
+  if (config_.max_batch_pairs == 0) {
+    // Rank-sized auto, the same formula PimAligner::align_pairs uses for
+    // its auto batch: every pool of every DPU of a rank sees two pairs.
+    std::size_t batch = static_cast<std::size_t>(upmem::kDpusPerRank) * 6 * 2;
+    if (const AlignerBackend* b = dispatcher_->backend(BackendKind::kPim)) {
+      // kind() == kPim implies the concrete type.
+      const auto* pim = static_cast<const PimBackend*>(b);
+      batch = static_cast<std::size_t>(upmem::kDpusPerRank) *
+              static_cast<std::size_t>(pim->aligner_config().pool.pools) * 2;
+    }
+    config_.max_batch_pairs = batch;
+  }
+  PIMNW_CHECK_MSG(config_.max_linger_seconds > 0,
+                  "max_linger_seconds must be positive");
+  coalescer_ = std::thread([this] { coalescer_main(); });
+}
+
+AlignService::~AlignService() { stop(); }
+
+std::future<ServiceResult> AlignService::submit(PairInput pair,
+                                                double deadline_seconds) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Hold stop() open until the push (or rejection) lands: stop() waits for
+  // in_flight_submits_ == 0 after raising stopping_, so its final stack
+  // sweep is guaranteed to run after every push that saw stopping_ false.
+  in_flight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  struct SubmitGuard {
+    std::atomic<int>& counter;
+    ~SubmitGuard() { counter.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard{in_flight_submits_};
+
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return rejected_future(PairStatus::kShutdown);
+  }
+
+  // Admission: charge the pair's cheapest calibrated estimate into the
+  // modeled backlog, then check the caps. The transient overshoot between
+  // a doomed charge and its undo can spuriously reject a concurrent
+  // submitter — the caps are soft by one racing request, never violated
+  // from below.
+  const double cost =
+      dispatcher_->min_estimate_seconds(pair.a.size(), pair.b.size());
+  const std::uint64_t cost_us =
+      cost > 0 ? static_cast<std::uint64_t>(cost * 1e6) : 0;
+  const std::uint64_t backlog_cap_us =
+      config_.max_backlog_seconds > 0
+          ? static_cast<std::uint64_t>(config_.max_backlog_seconds * 1e6)
+          : 0;
+  auto try_admit = [&](std::uint64_t* depth_out, std::uint64_t* backlog_out) {
+    const std::uint64_t depth =
+        queued_pairs_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    const std::uint64_t backlog =
+        backlog_us_.fetch_add(cost_us, std::memory_order_seq_cst) + cost_us;
+    const bool over =
+        (config_.max_queue_pairs != 0 && depth > config_.max_queue_pairs) ||
+        (backlog_cap_us != 0 && backlog > backlog_cap_us);
+    if (over) {
+      queued_pairs_.fetch_sub(1, std::memory_order_seq_cst);
+      backlog_us_.fetch_sub(cost_us, std::memory_order_seq_cst);
+      return false;
+    }
+    *depth_out = depth;
+    *backlog_out = backlog;
+    return true;
+  };
+
+  std::uint64_t depth = 0;
+  std::uint64_t backlog = 0;
+  if (!try_admit(&depth, &backlog)) {
+    if (!config_.block_when_full) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return rejected_future(PairStatus::kQueueFull);
+    }
+    // Closed-loop client: wait for capacity. flush() notifies space_cv_
+    // under space_mutex_ after undoing a batch's charges, and stop()
+    // notifies before waiting out in-flight submits, so this cannot miss a
+    // wakeup or deadlock a stopping service.
+    std::unique_lock<std::mutex> lock(space_mutex_);
+    for (;;) {
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+        return rejected_future(PairStatus::kShutdown);
+      }
+      if (try_admit(&depth, &backlog)) break;
+      space_cv_.wait(lock);
+    }
+  }
+  raise(max_queue_depth_, depth);
+  raise(max_backlog_us_, backlog);
+
+  Request* request = new Request;
+  request->pair = pair;
+  request->submit_seconds = clock_.seconds();
+  request->deadline_seconds =
+      deadline_seconds > 0 ? request->submit_seconds + deadline_seconds : 0.0;
+  request->submit_us = trace::enabled() ? trace::now_us() : 0.0;
+  request->cost_us = cost_us;
+  std::future<ServiceResult> future = request->promise.get_future();
+
+  Request* head = incoming_.load(std::memory_order_relaxed);
+  do {
+    request->next = head;
+  } while (!incoming_.compare_exchange_weak(head, request,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed));
+
+  // Dekker wake (see the header): push (seq_cst) then read idle_; the
+  // coalescer stores idle_ then re-reads incoming_ — one side always sees
+  // the other.
+  if (idle_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+  return future;
+}
+
+void AlignService::drain_incoming(std::vector<Request*>& pending) {
+  Request* head = incoming_.exchange(nullptr, std::memory_order_seq_cst);
+  // The stack pops newest-first; reverse the popped run back to arrival
+  // order before appending.
+  const std::size_t at = pending.size();
+  for (Request* r = head; r != nullptr; r = r->next) pending.push_back(r);
+  std::reverse(pending.begin() + static_cast<std::ptrdiff_t>(at),
+               pending.end());
+}
+
+void AlignService::undo_admission(const Request& request) {
+  queued_pairs_.fetch_sub(1, std::memory_order_seq_cst);
+  backlog_us_.fetch_sub(request.cost_us, std::memory_order_seq_cst);
+  if (config_.block_when_full) {
+    std::lock_guard<std::mutex> lock(space_mutex_);
+    space_cv_.notify_all();
+  }
+}
+
+void AlignService::resolve_undispatched(Request* request, PairStatus status,
+                                        bool was_admitted) {
+  if (was_admitted) undo_admission(*request);
+  const double now = clock_.seconds();
+  ServiceResult result;
+  result.output.ok = false;
+  result.output.status = status;
+  result.queue_seconds = now - request->submit_seconds;
+  result.total_seconds = result.queue_seconds;
+  request->promise.set_value(std::move(result));
+  delete request;
+}
+
+void AlignService::flush(std::vector<Request*>& batch, FlushKind kind) {
+  PIMNW_CHECK(!batch.empty());
+  const std::uint64_t id = ++next_batch_id_;
+  const double flush_seconds = clock_.seconds();
+
+  std::vector<PairInput> inputs;
+  inputs.reserve(batch.size());
+  for (const Request* r : batch) inputs.push_back(r->pair);
+
+  if (trace::enabled()) {
+    // Queue-wait lane: the span a request spent forming this batch (the
+    // oldest request bounds them all), next to the dispatch span below.
+    const Request* oldest = batch.front();
+    if (oldest->submit_us > 0) {
+      trace::complete_span("queue b" + std::to_string(id), oldest->submit_us,
+                           trace::now_us() - oldest->submit_us);
+    }
+    trace::counter("service.queue_depth",
+                   static_cast<double>(
+                       queued_pairs_.load(std::memory_order_relaxed)));
+    trace::counter("service.backlog_ms",
+                   static_cast<double>(
+                       backlog_us_.load(std::memory_order_relaxed)) /
+                       1e3);
+  }
+
+  std::vector<PairOutput> outputs;
+  double modeled_seconds = 0.0;
+  Stopwatch busy;
+  {
+    PIMNW_TRACE_SPAN("dispatch b" + std::to_string(id) + " " +
+                     flush_kind_name(static_cast<int>(kind)) + " x" +
+                     std::to_string(batch.size()));
+    const DispatchReport report = dispatcher_->align(inputs, &outputs);
+    for (const BackendReport& backend : report.backends) {
+      modeled_seconds += backend.modeled_seconds;
+    }
+  }
+  const double busy_seconds = busy.seconds();
+  const double done_seconds = clock_.seconds();
+  PIMNW_CHECK(outputs.size() == batch.size());
+
+  // Undo the whole batch's admission charges in one shot before resolving
+  // futures, so blocked submitters contend for the freed capacity once.
+  std::uint64_t batch_cost_us = 0;
+  for (const Request* r : batch) batch_cost_us += r->cost_us;
+  queued_pairs_.fetch_sub(batch.size(), std::memory_order_seq_cst);
+  backlog_us_.fetch_sub(batch_cost_us, std::memory_order_seq_cst);
+  if (config_.block_when_full) {
+    std::lock_guard<std::mutex> lock(space_mutex_);
+    space_cv_.notify_all();
+  }
+
+  std::vector<ServiceResult> results(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results[i].output = std::move(outputs[i]);
+    results[i].queue_seconds = flush_seconds - batch[i]->submit_seconds;
+    results[i].total_seconds = done_seconds - batch[i]->submit_seconds;
+    results[i].batch_id = id;
+    results[i].batch_pairs = batch.size();
+  }
+
+  // Record the flush's metrics BEFORE resolving any future: a client that
+  // observed its future ready must see the flush in metrics().
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    completed_ += batch.size();
+    dispatched_pairs_ += batch.size();
+    switch (kind) {
+      case FlushKind::kFull:
+        ++flushes_full_;
+        break;
+      case FlushKind::kLinger:
+        ++flushes_linger_;
+        break;
+      case FlushKind::kDrain:
+        ++flushes_drain_;
+        break;
+    }
+    busy_seconds_ += busy_seconds;
+    modeled_seconds_ += modeled_seconds;
+    if (config_.collect_latencies) {
+      for (const ServiceResult& result : results) {
+        queue_wait_samples_.push_back(result.queue_seconds);
+        total_latency_samples_.push_back(result.total_seconds);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->promise.set_value(std::move(results[i]));
+    delete batch[i];
+  }
+}
+
+void AlignService::coalescer_main() {
+  trace::set_thread_name("service");
+  std::vector<Request*> pending;  // admitted, arrival order
+  for (;;) {
+    drain_incoming(pending);
+
+    // Expire deadlines before forming a batch: a request whose budget ran
+    // out while queued resolves as kDeadlineExceeded instead of burning a
+    // dispatch slot. Granularity is the wake cadence (≤ max_linger).
+    if (!pending.empty()) {
+      const double now = clock_.seconds();
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        Request* r = pending[i];
+        if (r->deadline_seconds > 0 && now > r->deadline_seconds) {
+          rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+          resolve_undispatched(r, PairStatus::kDeadlineExceeded,
+                               /*was_admitted=*/true);
+        } else {
+          pending[keep++] = r;
+        }
+      }
+      pending.resize(keep);
+    }
+
+    if (pending.empty()) {
+      if (stopping_.load(std::memory_order_seq_cst) &&
+          incoming_.load(std::memory_order_seq_cst) == nullptr) {
+        break;
+      }
+      idle_.store(true, std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait(lock, [this] {
+          return incoming_.load(std::memory_order_seq_cst) != nullptr ||
+                 stopping_.load(std::memory_order_seq_cst);
+        });
+      }
+      idle_.store(false, std::memory_order_seq_cst);
+      continue;
+    }
+
+    if (pending.size() >= config_.max_batch_pairs) {
+      const auto cut =
+          pending.begin() +
+          static_cast<std::ptrdiff_t>(config_.max_batch_pairs);
+      std::vector<Request*> batch(pending.begin(), cut);
+      pending.erase(pending.begin(), cut);
+      flush(batch, FlushKind::kFull);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      flush(pending, FlushKind::kDrain);
+      pending.clear();
+      continue;
+    }
+    const double waited = clock_.seconds() - pending.front()->submit_seconds;
+    if (waited >= config_.max_linger_seconds) {
+      flush(pending, FlushKind::kLinger);
+      pending.clear();
+      continue;
+    }
+
+    // Under-full and inside the window: sleep out the linger remainder,
+    // waking early for new pushes (they may complete the batch) or stop.
+    idle_.store(true, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(config_.max_linger_seconds - waited),
+          [this] {
+            return incoming_.load(std::memory_order_seq_cst) != nullptr ||
+                   stopping_.load(std::memory_order_seq_cst);
+          });
+    }
+    idle_.store(false, std::memory_order_seq_cst);
+  }
+}
+
+void AlignService::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  stopping_.store(true, std::memory_order_seq_cst);
+  // Wake blocked submitters first (they resolve as kShutdown and release
+  // their in-flight guard), then wait out every submit that started before
+  // stopping_ was visible — after this loop no new push can appear.
+  {
+    std::lock_guard<std::mutex> lock(space_mutex_);
+    space_cv_.notify_all();
+  }
+  while (in_flight_submits_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_all();
+  }
+  if (coalescer_.joinable()) coalescer_.join();
+  // Pushes that raced the coalescer's exit (submit saw stopping_ false,
+  // coalescer's final drain ran first). The in-flight wait above ordered
+  // them before this sweep, so none can be stranded.
+  std::vector<Request*> leftovers;
+  drain_incoming(leftovers);
+  for (Request* r : leftovers) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    resolve_undispatched(r, PairStatus::kShutdown, /*was_admitted=*/true);
+  }
+}
+
+ServiceMetrics AlignService::metrics() const {
+  ServiceMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  m.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  m.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  m.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  m.max_backlog_seconds =
+      static_cast<double>(max_backlog_us_.load(std::memory_order_relaxed)) /
+      1e6;
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  m.completed = completed_;
+  m.flushes_full = flushes_full_;
+  m.flushes_linger = flushes_linger_;
+  m.flushes_drain = flushes_drain_;
+  const std::uint64_t flushes =
+      flushes_full_ + flushes_linger_ + flushes_drain_;
+  m.batch_fill_mean =
+      flushes > 0 ? static_cast<double>(dispatched_pairs_) /
+                        (static_cast<double>(flushes) *
+                         static_cast<double>(config_.max_batch_pairs))
+                  : 0.0;
+  m.busy_seconds = busy_seconds_;
+  m.modeled_seconds = modeled_seconds_;
+  m.queue_wait = summarize_latencies(queue_wait_samples_);
+  m.total_latency = summarize_latencies(total_latency_samples_);
+  return m;
+}
+
+}  // namespace pimnw::core

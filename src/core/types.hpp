@@ -25,10 +25,44 @@ struct PairInput {
   std::string_view b;
 };
 
+/// Why a pair did (or did not) produce an alignment. `kUnreachable` is the
+/// default so a never-written output slot reads as "the band missed (m, n)",
+/// matching the pre-status meaning of ok == false. The service statuses
+/// (deadline/queue-full/shutdown) mark requests that were never dispatched
+/// to a backend at all — a service cannot crash or silently drop one bad
+/// request, so every admission failure is a per-pair status, not an abort.
+enum class PairStatus : std::uint8_t {
+  kUnreachable = 0,     // band / cost bound never reached (m, n)
+  kOk = 1,              // aligned; score (and CIGAR if requested) are valid
+  kOversized = 2,       // single pair's MRAM image exceeds the 64 MB bank
+  kDeadlineExceeded = 3,  // service: deadline passed before dispatch
+  kQueueFull = 4,       // service: rejected by backpressure at submit
+  kShutdown = 5,        // service: stopped before the pair was accepted
+};
+
+inline const char* pair_status_name(PairStatus status) {
+  switch (status) {
+    case PairStatus::kUnreachable:
+      return "unreachable";
+    case PairStatus::kOk:
+      return "ok";
+    case PairStatus::kOversized:
+      return "oversized";
+    case PairStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case PairStatus::kQueueFull:
+      return "queue_full";
+    case PairStatus::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
 /// Unified per-pair result across backends.
 struct PairOutput {
   align::Score score = align::kNegInf;
-  bool ok = false;  // false when the band / cost bound never reached (m, n)
+  bool ok = false;  // invariant: ok == (status == PairStatus::kOk)
+  PairStatus status = PairStatus::kUnreachable;
   dna::Cigar cigar;
   /// Pool-critical-path DPU cycles this pair cost (from the kernel's cost
   /// accounting) and its DPU-internal DMA traffic — inputs to the

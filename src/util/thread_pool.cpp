@@ -38,6 +38,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_.notify_all();
+  parked_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -63,6 +64,30 @@ void ThreadPool::enqueue(Task* task) {
     std::lock_guard<std::mutex> lock(mutex_);
     cv_.notify_one();
   }
+  // Same protocol for parked orchestrators: their predicate reads pending_
+  // under mutex_ after bumping parked_, so either we see parked_ > 0 here
+  // or they see our pending_ increment.
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    parked_cv_.notify_all();
+  }
+}
+
+void ThreadPool::park(const std::function<bool()>& wake) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  parked_cv_.wait(lock, [this, &wake] {
+    return stop_ || pending_.load(std::memory_order_seq_cst) > 0 || wake();
+  });
+  parked_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void ThreadPool::unpark_all() {
+  // Taking the mutex orders this notify against a parker that has bumped
+  // parked_ but not yet evaluated its predicate; completions are rare (once
+  // per batch / ticket), so the lock is not a hot path.
+  std::lock_guard<std::mutex> lock(mutex_);
+  parked_cv_.notify_all();
 }
 
 void ThreadPool::post(std::function<void()> fn) {

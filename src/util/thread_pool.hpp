@@ -215,6 +215,20 @@ class ThreadPool {
   /// execute it instead of parking a core.
   bool help_one() { return run_one(worker_index()); }
 
+  /// Sleep the calling thread until new pool work is enqueued, the pool is
+  /// stopping, or `wake()` returns true — the sleep/notify hook orchestrators
+  /// pair with help_one() instead of timed-wait polling: help until the
+  /// queues run dry, park, and a producer (enqueue) or a completion
+  /// (unpark_all) wakes the thread the moment there is something to do.
+  /// `wake` is evaluated with the pool mutex held and must only read atomics
+  /// — taking a lock inside it can deadlock against unpark_all callers.
+  /// Spurious returns are allowed; callers loop on their own condition.
+  void park(const std::function<bool()>& wake);
+
+  /// Wake every thread blocked in park(). Call after making some parked
+  /// caller's wake() condition true (e.g. a batch's last job finishing).
+  void unpark_all();
+
   /// The pre-work-stealing behaviour: contiguous chunks of ~n/(4·size())
   /// iterations submitted as tasks, caller blocking on their futures. Kept
   /// as the serial-reference scheduling for determinism tests and for the
@@ -239,8 +253,10 @@ class ThreadPool {
   std::deque<Task*> injector_;  // guarded by mutex_
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable parked_cv_;  // outside threads blocked in park()
   std::atomic<std::int64_t> pending_{0};  // queued, not yet acquired
   std::atomic<int> sleepers_{0};
+  std::atomic<int> parked_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> injected_{0};

@@ -55,18 +55,32 @@ TEST(KernelEdgeTest, HugeBandFitsWithFewerPools) {
   EXPECT_EQ(outputs[0].score, 8);
 }
 
-TEST(KernelEdgeTest, OversizedBatchExceedsMram) {
-  // One DPU, traceback on, many long pairs: the BT scratch + cigar slots
-  // overflow the 64 MB bank and the serializer refuses.
+TEST(KernelEdgeTest, OversizedPairRejectedGracefully) {
+  // A pair whose solo BT scratch + cigar slots overflow the 64 MB bank is
+  // rejected per-pair (kOversized) instead of aborting the whole batch —
+  // the streaming service cannot let one bad request kill the process.
+  // Pairs sharing the batch still align.
   Xoshiro256 rng(41);
   const std::string a = data::random_dna(200'000, rng);
   const std::string b = data::random_dna(200'000, rng);
+  // Default band: the 200k pair's lone-pair BT scratch is ~160 MB, far over
+  // the bank, while the tiny pairs run normally.
   PimAlignerConfig config;
   config.nr_ranks = 1;
-  config.align.band_width = 512;
-  std::vector<PairInput> pairs = {{a, b}};
+  std::vector<PairInput> pairs = {{"ACGT", "ACGT"}, {a, b}, {"ACGT", "ACGT"}};
   std::vector<PairOutput> outputs;
-  EXPECT_THROW(PimAligner(config).align_pairs(pairs, &outputs), CheckError);
+  RunReport report;
+  EXPECT_NO_THROW(report =
+                      PimAligner(config).align_pairs(pairs, &outputs));
+  EXPECT_EQ(report.rejected_pairs, 1u);
+  EXPECT_EQ(report.total_pairs, 2u);
+  EXPECT_FALSE(outputs[1].ok);
+  EXPECT_EQ(outputs[1].status, PairStatus::kOversized);
+  EXPECT_TRUE(outputs[0].ok);
+  EXPECT_TRUE(outputs[2].ok);
+  EXPECT_EQ(outputs[0].score, 8);
+  EXPECT_EQ(outputs[2].score, 8);
+  EXPECT_EQ(outputs[0].status, PairStatus::kOk);
 }
 
 TEST(KernelEdgeTest, ManyTinyPairsOneDpu) {

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -178,6 +182,35 @@ TEST_F(MramImageTest, InvalidSeqIndexRejected) {
   batch.pairs = {{0, 9, 0}};
   EXPECT_THROW(build_mram_image(batch, pool_, align_config_, pool_config_),
                CheckError);
+}
+
+
+TEST_F(MramImageTest, SinglePairFootprintHelperMatchesBuild) {
+  // single_pair_image_bytes is the per-pair oversized-admission check; it
+  // must mirror build_mram_image's layout arithmetic exactly, or the host
+  // would admit pairs the serializer then dies on (or reject good ones).
+  const std::vector<std::pair<std::string, std::string>> shapes = {
+      {"ACGT", "ACGT"},
+      {std::string(1000, 'A'), std::string(997, 'C')},
+      {std::string(513, 'G'), std::string(64, 'T')},
+  };
+  for (const bool traceback : {true, false}) {
+    AlignConfig config = align_config_;
+    config.traceback = traceback;
+    for (const auto& [a, b] : shapes) {
+      const std::vector<std::string_view> views = {a, b};
+      const SeqPool pool = SeqPool::build(views);
+      DpuBatchInput batch;
+      batch.pairs = {{0, 1, 0}};
+      const MramImage image =
+          build_mram_image(batch, pool, config, pool_config_);
+      EXPECT_EQ(single_pair_image_bytes(a.size(), b.size(), config,
+                                        pool_config_),
+                image.total_bytes)
+          << "len_a=" << a.size() << " len_b=" << b.size()
+          << " traceback=" << traceback;
+    }
+  }
 }
 
 }  // namespace

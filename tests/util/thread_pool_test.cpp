@@ -334,5 +334,50 @@ TEST(PrefetchTest, CountsHitsAndMisses) {
   EXPECT_EQ(ahead.misses(), 1u);
 }
 
+
+TEST(ThreadPoolTest, ParkWakesOnPredicate) {
+  // park() is the sleep/notify half of the engine's wait_for: the waiter
+  // sleeps (no polling) until unpark_all() fires after the predicate's
+  // atomic flips. The predicate must only read atomics (documented
+  // lock-ordering rule), which this test mirrors.
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  std::thread completer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done.store(true, std::memory_order_seq_cst);
+    pool.unpark_all();
+  });
+  while (!done.load(std::memory_order_seq_cst)) {
+    if (!pool.help_one()) {
+      pool.park([&done] { return done.load(std::memory_order_seq_cst); });
+    }
+  }
+  completer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPoolTest, ParkWakesOnEnqueue) {
+  // A parked waiter must also wake when new work arrives, so it can help
+  // instead of sleeping under a filling queue. The task signals completion
+  // via unpark_all, the engine's job_done pattern — a bare predicate store
+  // would race the parker back to sleep.
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  std::thread submitter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.post([&] {
+      ran.store(true, std::memory_order_seq_cst);
+      pool.unpark_all();
+    });
+  });
+  while (!ran.load(std::memory_order_seq_cst)) {
+    if (!pool.help_one()) {
+      pool.park([&ran] { return ran.load(std::memory_order_seq_cst); });
+    }
+  }
+  submitter.join();
+  EXPECT_TRUE(ran.load());
+}
+
 }  // namespace
 }  // namespace pimnw

@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
 
   auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = default_worker_threads();  // hw threads clamped to cgroup quota
   }
   ThreadPool workers(threads);
   const int reps = static_cast<int>(cli.get_int("reps"));

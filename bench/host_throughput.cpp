@@ -4,6 +4,16 @@
 // legacy-barrier engine against the work-stealing pipelined engine at the
 // same worker count. Writes BENCH_host.json so the perf trajectory tracks
 // orchestration, not just the kernel inner loop (BENCH_kernel.json).
+//
+// The report also carries a "scaling" section — pipelined sim wall-clock at
+// each --scaling thread count, each point bit-compared against the
+// threads=1 legacy (serial-schedule) reference — and keeps every
+// machine-dependent fact (worker threads, hardware concurrency, the whole
+// scaling curve) inside provenance/machine/scaling blocks that
+// scripts/bench_diff.py skips, so cross-machine diffs gate only on
+// machine-independent shape. --identity-smoke runs just the threads 2-vs-1
+// bit-identity gate (both engine modes) and exits with the verdict; the
+// default scripts/verify.sh run uses it as a cheap parallel-sweep check.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -90,11 +100,69 @@ struct WorkloadResult {
   std::string name;
   std::size_t pairs = 0;
   std::size_t read_length = 0;
+  std::size_t threads = 0;  // real ThreadPool size the section ran with
   EngineTiming legacy;
   EngineTiming pipelined;
   EngineTiming dispatch;
   double speedup = 0.0;
 };
+
+/// One full align_pairs run: outputs + modeled report + wall seconds.
+struct RunResult {
+  std::vector<core::PairOutput> out;
+  core::RunReport report;
+  double seconds = 0.0;
+};
+
+RunResult run_once(const std::vector<core::PairInput>& pairs,
+                   core::PimAlignerConfig config, core::EngineMode mode,
+                   ThreadPool& workers) {
+  config.engine = mode;
+  config.workers = &workers;
+  core::PimAligner aligner(config);
+  RunResult r;
+  const auto start = std::chrono::steady_clock::now();
+  r.report = aligner.align_pairs(pairs, &r.out);
+  const auto stop = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(stop - start).count();
+  return r;
+}
+
+/// Bit-exact equality of run results. The parallel sweep's contract
+/// (DESIGN.md §15) is that any thread count replays the serial schedule's
+/// arithmetic exactly, so == on doubles is the correct comparison.
+bool same_outputs(const std::vector<core::PairOutput>& a,
+                  const std::vector<core::PairOutput>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].score != b[i].score || a[i].ok != b[i].ok ||
+        a[i].status != b[i].status ||
+        a[i].cigar.items() != b[i].cigar.items() ||
+        a[i].dpu_pool_cycles != b[i].dpu_pool_cycles ||
+        a[i].dpu_dma_bytes != b[i].dpu_dma_bytes ||
+        a[i].cells != b[i].cells) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_report(const core::RunReport& a, const core::RunReport& b) {
+  return a.makespan_seconds == b.makespan_seconds &&
+         a.transfer_seconds == b.transfer_seconds &&
+         a.host_prep_seconds == b.host_prep_seconds &&
+         a.host_overhead_fraction == b.host_overhead_fraction &&
+         a.mean_pipeline_utilization == b.mean_pipeline_utilization &&
+         a.mean_mram_overhead == b.mean_mram_overhead &&
+         a.load_imbalance == b.load_imbalance && a.batches == b.batches &&
+         a.total_pairs == b.total_pairs &&
+         a.rejected_pairs == b.rejected_pairs &&
+         a.bytes_to_dpus == b.bytes_to_dpus &&
+         a.bytes_broadcast == b.bytes_broadcast &&
+         a.bytes_from_dpus == b.bytes_from_dpus &&
+         a.total_instructions == b.total_instructions &&
+         a.total_dma_bytes == b.total_dma_bytes;
+}
 
 WorkloadResult run_workload(const std::string& name,
                             const data::SyntheticConfig& data_config,
@@ -120,6 +188,7 @@ WorkloadResult run_workload(const std::string& name,
   result.name = name;
   result.pairs = pairs.size();
   result.read_length = data_config.read_length;
+  result.threads = workers.size();
   result.legacy = time_engine(pairs, config, core::EngineMode::kLegacyBarrier,
                               workers, banded_cells, reps);
   result.pipelined = time_engine(pairs, config, core::EngineMode::kPipelined,
@@ -179,6 +248,142 @@ void write_engine(std::ofstream& out, const char* key, const EngineTiming& t) {
       << ", \"gcups\": " << t.gcups << " }";
 }
 
+struct ScalingPoint {
+  std::size_t threads = 0;  // real pool size (== requested)
+  double seconds = 0.0;     // best-of-reps pipelined wall clock
+  double speedup_vs_1 = 0.0;
+  bool identical_to_serial = false;  // bit-compared vs threads=1 legacy
+};
+
+struct ScalingCurve {
+  std::string name;
+  std::vector<ScalingPoint> points;
+  bool all_identical = true;
+};
+
+/// Pipelined sim wall-clock at each requested thread count, every point
+/// bit-compared (outputs + modeled report) against the threads=1 legacy
+/// run — the serial reference schedule. One pool per point: the pool size
+/// IS the independent variable here, unlike the main sections which share
+/// the --threads pool.
+ScalingCurve run_scaling(const std::string& name,
+                         const data::SyntheticConfig& data_config,
+                         std::size_t batch_pairs,
+                         const std::vector<std::size_t>& thread_counts,
+                         int reps) {
+  const data::PairDataset dataset = data::generate_synthetic(data_config);
+  std::vector<core::PairInput> pairs;
+  pairs.reserve(dataset.pairs.size());
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+
+  core::PimAlignerConfig config;
+  config.nr_ranks = 2;
+  config.batch_pairs = batch_pairs;
+
+  ThreadPool serial_pool(1);
+  const RunResult reference =
+      run_once(pairs, config, core::EngineMode::kLegacyBarrier, serial_pool);
+
+  ScalingCurve curve;
+  curve.name = name;
+  double base_seconds = 0.0;
+  for (const std::size_t t : thread_counts) {
+    ThreadPool pool(t);
+    ScalingPoint point;
+    point.threads = pool.size();
+    point.seconds = 1e100;
+    point.identical_to_serial = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      const RunResult r =
+          run_once(pairs, config, core::EngineMode::kPipelined, pool);
+      point.seconds = std::min(point.seconds, r.seconds);
+      if (!same_outputs(r.out, reference.out) ||
+          !same_report(r.report, reference.report)) {
+        point.identical_to_serial = false;
+      }
+    }
+    if (base_seconds == 0.0) base_seconds = point.seconds;
+    point.speedup_vs_1 = base_seconds / point.seconds;
+    if (!point.identical_to_serial) curve.all_identical = false;
+    std::printf("%-8s scaling threads=%zu  %7.3fs  speedup %.2fx  %s\n",
+                name.c_str(), point.threads, point.seconds,
+                point.speedup_vs_1,
+                point.identical_to_serial ? "bit-identical"
+                                          : "MISMATCH vs serial");
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+/// --identity-smoke: the threads 2-vs-1 bit-identity gate verify.sh runs in
+/// its default (non --bench) pass. Both engine modes at 2 workers are
+/// compared against the legacy engine on a 1-thread pool — the serial
+/// reference schedule — on a small S=1000 slice. Returns a process exit
+/// status; no JSON is written.
+int run_identity_smoke(std::uint64_t seed) {
+  const data::PairDataset dataset =
+      data::generate_synthetic(data::s1000_config(96, seed));
+  std::vector<core::PairInput> pairs;
+  pairs.reserve(dataset.pairs.size());
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+
+  core::PimAlignerConfig config;
+  config.nr_ranks = 2;
+  config.batch_pairs = 24;  // several batches, so the pipeline window fills
+
+  ThreadPool one(1);
+  ThreadPool two(2);
+  const RunResult reference =
+      run_once(pairs, config, core::EngineMode::kLegacyBarrier, one);
+
+  struct Leg {
+    const char* name;
+    core::EngineMode mode;
+    ThreadPool* pool;
+  };
+  const Leg legs[] = {
+      {"legacy@2", core::EngineMode::kLegacyBarrier, &two},
+      {"pipelined@1", core::EngineMode::kPipelined, &one},
+      {"pipelined@2", core::EngineMode::kPipelined, &two},
+  };
+  for (const Leg& leg : legs) {
+    const RunResult r = run_once(pairs, config, leg.mode, *leg.pool);
+    if (!same_outputs(r.out, reference.out)) {
+      std::fprintf(stderr,
+                   "identity smoke FAILED: %s outputs differ from the "
+                   "serial legacy@1 schedule\n",
+                   leg.name);
+      return 1;
+    }
+    if (!same_report(r.report, reference.report)) {
+      std::fprintf(stderr,
+                   "identity smoke FAILED: %s modeled report differs from "
+                   "the serial legacy@1 schedule\n",
+                   leg.name);
+      return 1;
+    }
+  }
+  std::printf("identity smoke passed: legacy@2 / pipelined@1 / pipelined@2 "
+              "bit-identical to legacy@1 on %zu pairs\n",
+              pairs.size());
+  return 0;
+}
+
+std::vector<std::size_t> parse_thread_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      out.push_back(std::max<std::size_t>(1, std::stoul(tok)));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,8 +391,9 @@ int main(int argc, char** argv) {
           "End-to-end host path wall-clock: legacy barrier vs pipelined "
           "work-stealing engine");
   cli.flag("threads", std::int64_t{0},
-           "worker threads for both engines (0 = hardware concurrency; the "
-           "ISSUE 2 speedup target assumes >= 8 hardware threads)");
+           "worker threads for both engines (0 = hardware concurrency "
+           "clamped to the cgroup CPU quota; the ISSUE 2 speedup target "
+           "assumes >= 8 hardware threads)");
   cli.flag("s1000-pairs", std::int64_t{256}, "pair count for S=1000");
   cli.flag("s10000-pairs", std::int64_t{64}, "pair count for S=10000");
   cli.flag("reps", std::int64_t{3}, "repetitions (best-of)");
@@ -206,6 +412,14 @@ int main(int argc, char** argv) {
            "pim | cpu | wfa");
   cli.flag("policy", std::string("single"),
            "routing policy of the dispatched pass: single | threshold | cost");
+  cli.flag("scaling", std::string("1,2,4,8"),
+           "comma-separated thread counts for the scaling section (pipelined "
+           "sim seconds vs threads, bit-checked against the serial "
+           "schedule); empty disables it");
+  cli.flag("identity-smoke", false,
+           "run only the threads 2-vs-1 bit-identity gate (both engine "
+           "modes vs the serial legacy@1 schedule) and exit with the "
+           "verdict; writes no JSON");
   cli.flag("log-level", std::string("info"),
            "stderr log level: debug | info | warn | error");
   cli.parse(argc, argv);
@@ -225,10 +439,15 @@ int main(int argc, char** argv) {
 
   auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = default_worker_threads();  // hw threads clamped to cgroup quota
   }
   const int reps = static_cast<int>(cli.get_int("reps"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  if (cli.get_bool("identity-smoke")) {
+    return run_identity_smoke(seed);
+  }
+
   ThreadPool workers(threads);
 
   const auto s1000 = data::s1000_config(
@@ -242,30 +461,48 @@ int main(int argc, char** argv) {
   results.push_back(run_workload("S10000", s10000, 16, workers, reps,
                                  *backend_kind, *policy));
 
+  const std::vector<std::size_t> scaling_threads =
+      parse_thread_list(cli.get_string("scaling"));
+  std::vector<ScalingCurve> scaling;
+  bool scaling_identical = true;
+  if (!scaling_threads.empty()) {
+    scaling.push_back(run_scaling("S1000", s1000, 64, scaling_threads, reps));
+    scaling.push_back(
+        run_scaling("S10000", s10000, 16, scaling_threads, reps));
+    for (const ScalingCurve& c : scaling) {
+      scaling_identical = scaling_identical && c.all_identical;
+    }
+  }
+
   const std::string path = cli.get_string("out");
   std::ofstream out(path);
   out << "{\n";
-  out << "  \"threads\": " << threads << ",\n";
-  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n";
   out << "  \"batch_window\": " << core::PimAlignerConfig{}.batch_window
       << ",\n";
   {
     // Same modeled configuration the workloads ran (2 ranks, defaults).
+    // Machine-dependent facts — the pool size the sections really ran with
+    // and the host's hardware concurrency — live here so bench_diff skips
+    // them with the rest of the provenance stamp.
     core::PimAlignerConfig proto;
     proto.nr_ranks = 2;
-    out << "  \"provenance\": " << provenance_json(core::params_json(proto))
-        << ",\n";
+    std::string machine = "{ \"threads\": ";
+    machine += std::to_string(workers.size());
+    machine += ", \"hardware_threads\": ";
+    machine += std::to_string(std::thread::hardware_concurrency());
+    machine += " }";
+    out << "  \"provenance\": "
+        << provenance_json(core::params_json(proto), machine) << ",\n";
   }
   out << "  \"dispatch_backend\": \"" << core::backend_kind_name(*backend_kind)
       << "\",\n";
   out << "  \"dispatch_policy\": \"" << core::route_policy_name(*policy)
       << "\",\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
+  for (const WorkloadResult& r : results) {
     out << "  \"" << r.name << "\": {\n";
     out << "    \"pairs\": " << r.pairs << ",\n";
     out << "    \"read_length\": " << r.read_length << ",\n";
+    out << "    \"machine\": { \"threads\": " << r.threads << " },\n";
     write_engine(out, "legacy_barrier", r.legacy);
     out << ",\n";
     write_engine(out, "pipelined", r.pipelined);
@@ -273,10 +510,36 @@ int main(int argc, char** argv) {
     write_engine(out, "dispatch", r.dispatch);
     out << ",\n";
     out << "    \"speedup_pipelined_vs_legacy\": " << r.speedup << "\n";
-    out << "  }" << (i + 1 < results.size() ? "," : "") << "\n";
+    out << "  },\n";
   }
+  out << "  \"scaling\": {\n";
+  out << "    \"note\": \"pipelined sim wall-clock vs worker threads; "
+         "machine-dependent, skipped by bench_diff; every point "
+         "bit-compared against the threads=1 serial schedule\"";
+  for (const ScalingCurve& c : scaling) {
+    out << ",\n    \"" << c.name << "\": [\n";
+    for (std::size_t i = 0; i < c.points.size(); ++i) {
+      const ScalingPoint& p = c.points[i];
+      out << "      { \"threads\": " << p.threads
+          << ", \"seconds\": " << p.seconds
+          << ", \"speedup_vs_1\": " << p.speedup_vs_1
+          << ", \"identical_to_serial\": "
+          << (p.identical_to_serial ? "true" : "false") << " }"
+          << (i + 1 < c.points.size() ? "," : "") << "\n";
+    }
+    out << "    ]";
+  }
+  out << "\n  }\n";
   out << "}\n";
   std::printf("wrote %s\n", path.c_str());
+
+  if (!scaling_identical) {
+    std::fprintf(stderr,
+                 "scaling sweep found outputs NOT bit-identical to the "
+                 "serial schedule — see the scaling section of %s\n",
+                 path.c_str());
+    return 1;
+  }
 
   const std::string trace_path = cli.get_string("trace");
   const std::string stats_path = cli.get_string("stats");

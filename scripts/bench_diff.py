@@ -15,8 +15,12 @@ tolerance is deliberately loose (20%); the gate exists to catch real
 regressions (the injected-regression check in verify.sh uses the same
 mechanism), not 2% jitter.
 
-The "provenance" subtree (git SHA, build type, timestamp, params snapshot)
-is skipped entirely: stamps differ on every run by design.
+The "provenance" subtree (git SHA, build type, timestamp, params snapshot,
+machine facts) is skipped entirely: stamps differ on every run by design.
+So are "machine" blocks (worker-thread counts, hardware concurrency) and
+the "scaling" section of BENCH_host.json (sim seconds vs thread count):
+both are machine-dependent by construction — a 1-core CI runner and a
+32-core workstation produce legitimately different numbers there.
 
 Exit status: 0 when no leaf regressed, 1 on regression or structural
 mismatch (a numeric leaf present in the baseline but missing from the fresh
@@ -34,7 +38,7 @@ import json
 import shutil
 import sys
 
-SKIP_KEYS = {"provenance"}
+SKIP_KEYS = {"provenance", "machine", "scaling"}
 LOWER_BETTER = ("seconds",)
 HIGHER_BETTER = ("per_second", "gcups", "speedup")
 

@@ -29,11 +29,18 @@
 # core orchestration and simulator sources; it is skipped with a notice when
 # clang-tidy is not installed, so the stage is safe to request everywhere.
 #
+# The default preset also runs the parallel-sweep bit-identity smoke
+# (host_throughput --identity-smoke): legacy@2 / pipelined@1 / pipelined@2
+# vs the serial legacy@1 schedule (DESIGN.md §15) — the cheap standing
+# guard that the data-parallel DPU sweep never perturbs modeled results.
+#
 # A --bench flag adds the benchmark regression gate: re-run the
-# BENCH_kernel.json, BENCH_16s.json and BENCH_serve.json producers
-# (micro_kernels timing emitter, bench_16s, serve_bench) into a temporary
-# directory and compare against the committed baselines with
-# scripts/bench_diff.py (direction-aware, 20% tolerance).
+# BENCH_kernel.json, BENCH_16s.json, BENCH_serve.json and BENCH_host.json
+# producers (micro_kernels timing emitter, bench_16s, serve_bench,
+# host_throughput) into a temporary directory and compare against the
+# committed baselines with scripts/bench_diff.py (direction-aware, 20%
+# tolerance; provenance/machine/scaling subtrees skipped as
+# machine-dependent).
 #
 # Usage: scripts/verify.sh [--tidy] [--bench] [preset ...]
 #        (default presets: default asan tsan)
@@ -92,6 +99,10 @@ for preset in "${PRESETS[@]}"; do
     echo "=== [$preset] pimnw_serve smoke"
     "$BUILD_DIR/examples/pimnw_serve" --pairs 128 --length 200 --clients 2 \
         --json-out "$BUILD_DIR/serve_metrics.json" >/dev/null
+    echo "=== [$preset] parallel-sweep bit-identity smoke (threads 2 vs 1)"
+    cmake --build --preset default -j "$JOBS" --target host_throughput \
+        >/dev/null
+    "$BUILD_DIR/bench/host_throughput" --identity-smoke
   fi
 done
 
@@ -116,6 +127,12 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   "$ROOT/build/bench/serve_bench" --out "$BENCH_TMP/BENCH_serve.json" >/dev/null
   echo "=== [bench] diff vs committed baseline"
   python3 scripts/bench_diff.py BENCH_serve.json "$BENCH_TMP/BENCH_serve.json"
+  echo "=== [bench] regenerate BENCH_host.json (host path + scaling curve)"
+  cmake --build --preset default -j "$JOBS" --target host_throughput
+  "$ROOT/build/bench/host_throughput" --out "$BENCH_TMP/BENCH_host.json" \
+      >/dev/null
+  echo "=== [bench] diff vs committed baseline"
+  python3 scripts/bench_diff.py BENCH_host.json "$BENCH_TMP/BENCH_host.json"
 fi
 
 echo "verify.sh: all presets green (${PRESETS[*]})"

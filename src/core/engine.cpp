@@ -128,16 +128,25 @@ struct ExecEngine::Arena {
   std::uint64_t broadcast_seen = 0;
 };
 
-/// One in-flight rank-batch. `jobs_left` counts the build job (as a sentinel
-/// so the slot cannot look done while exec jobs are still being posted) plus
-/// one exec job per non-empty plan; `done` is an atomic so the waiter (and
-/// the ThreadPool park predicate, which must not take locks) can read it
-/// without the engine mutex; `error` stays guarded by the engine mutex.
+/// One in-flight rank-batch. Its non-empty plans form a data-parallel DPU
+/// sweep (DESIGN.md §15): `active[0..n_active)` lists the DPU indices and
+/// `cursor` is the shared claim counter the sweepers drain, OpenMP-style —
+/// one simulated DPU at a time per host worker slot. `jobs_left` counts the
+/// build job (as a sentinel so the slot cannot look done while sweepers are
+/// still being posted) plus one per sweeper task; a slot therefore only
+/// reads done == true once every task that references it has finished, so
+/// the ring can reuse the slot for a later batch without racing a stale
+/// sweeper. `done` is an atomic so the waiter (and the ThreadPool park
+/// predicate, which must not take locks) can read it without the engine
+/// mutex; `error` stays guarded by the engine mutex.
 struct ExecEngine::Slot {
   PreparedBatch prepared;
   std::array<upmem::DpuCostModel::Summary, upmem::kDpusPerRank> summaries;
   std::array<upmem::DpuPhaseProfile, upmem::kDpusPerRank> profiles;
   std::array<bool, upmem::kDpusPerRank> ran{};
+  std::array<int, upmem::kDpusPerRank> active{};
+  int n_active = 0;
+  std::atomic<int> cursor{0};
   std::size_t index = 0;  // batch number (trace span labels)
   std::atomic<int> jobs_left{0};
   std::atomic<bool> done{true};
@@ -286,6 +295,8 @@ void ExecEngine::schedule(
   slot.prepared = PreparedBatch{};
   slot.ran.fill(false);
   slot.index = index;
+  slot.n_active = 0;
+  slot.cursor.store(0, std::memory_order_relaxed);
   slot.jobs_left.store(1, std::memory_order_relaxed);  // the build sentinel
   slot.done.store(false, std::memory_order_seq_cst);
   {
@@ -302,32 +313,53 @@ void ExecEngine::schedule(
                           static_cast<std::size_t>(upmem::kDpusPerRank),
                       "a PreparedBatch must carry one plan per DPU: batch="
                           << index << " plans=" << slot.prepared.plans.size());
-      int jobs = 0;
-      for (const DpuPlan& plan : slot.prepared.plans) {
-        if (!plan.batch.pairs.empty()) ++jobs;
-      }
-      slot.jobs_left.fetch_add(jobs, std::memory_order_seq_cst);
       for (int d = 0; d < upmem::kDpusPerRank; ++d) {
         if (slot.prepared.plans[static_cast<std::size_t>(d)]
                 .batch.pairs.empty()) {
           continue;
         }
-        pool_->post([this, &slot, d, out] {
-          try {
-            exec_plan(slot, d, out);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!slot.error) slot.error = std::current_exception();
-          }
+        slot.active[static_cast<std::size_t>(slot.n_active++)] = d;
+      }
+      // Data-parallel DPU sweep: one sweeper task per host worker slot (at
+      // most one per DPU); each drains the shared claim cursor. The build
+      // worker joins its own rank's sweep below — the nested-parallelism
+      // composition the ThreadPool's helping/parking waits make safe.
+      const int sweepers = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(slot.n_active), pool_->size()));
+      slot.jobs_left.fetch_add(sweepers, std::memory_order_seq_cst);
+      for (int s = 0; s < sweepers; ++s) {
+        pool_->post([this, &slot, out] {
+          sweep_plans(slot, out);
           job_done(slot);
         });
       }
+      sweep_plans(slot, out);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!slot.error) slot.error = std::current_exception();
     }
     job_done(slot);
   });
+}
+
+/// Claim-and-execute loop of one sweeper: takes DPUs off the slot's shared
+/// cursor until the sweep is drained. Per-DPU failures are latched into
+/// slot.error without aborting the remaining DPUs (matching the previous
+/// one-task-per-DPU behaviour); summaries/profiles land in per-DPU slots so
+/// the commit stage reads them in fixed order no matter which sweeper ran
+/// which DPU, or in what order they finished.
+void ExecEngine::sweep_plans(Slot& slot, std::vector<PairOutput>* out) {
+  for (;;) {
+    const int k = slot.cursor.fetch_add(1, std::memory_order_seq_cst);
+    if (k >= slot.n_active) return;
+    const int d = slot.active[static_cast<std::size_t>(k)];
+    try {
+      exec_plan(slot, d, out);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!slot.error) slot.error = std::current_exception();
+    }
+  }
 }
 
 void ExecEngine::exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out) {
@@ -472,9 +504,14 @@ void ExecEngine::run_legacy(
   stats_->note_prefetch(ahead.hits(), ahead.misses());
 }
 
-/// The pre-engine BatchEngine::run_batch, verbatim: transfer into the next
-/// free rank's banks, launch behind the rank barrier with the contiguous
-/// chunk schedule, read back and decode serially.
+/// The pre-engine BatchEngine::run_batch: transfer into the next free
+/// rank's banks, launch behind the rank barrier, read back and decode
+/// serially. The launch sweeps the 64 DPUs with the dynamic claim-counter
+/// parallel_for (nested-safe since PR 8) rather than the old contiguous
+/// chunk schedule, so a legacy launch issued from a pool worker cannot
+/// self-deadlock and load-balances skewed plans; with a 1-thread pool the
+/// rank falls back to the in-order serial loop, which is the determinism
+/// tests' reference schedule.
 void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
                                   std::vector<PairOutput>* out) {
   std::vector<DpuPlan>& plans = prepared.plans;
@@ -517,7 +554,7 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
                                               config_.bt_stream_passes);
       },
       config_.pool.pools, config_.pool.tasklets_per_pool, pool_,
-      /*static_chunking=*/true);
+      /*static_chunking=*/false);
 
   // Per-DPU summaries for the stats/trace observers (each launched DPU
   // retains its last summary; read before the banks are reused).

@@ -200,6 +200,7 @@ class ExecEngine {
   void schedule(Slot& slot, std::size_t index,
                 const std::function<PreparedBatch(std::size_t)>& build,
                 std::vector<PairOutput>* out);
+  void sweep_plans(Slot& slot, std::vector<PairOutput>* out);
   void exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out);
   void job_done(Slot& slot);
   void wait_for(Slot& slot);

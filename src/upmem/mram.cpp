@@ -11,10 +11,27 @@ std::uint8_t* Mram::chunk_for_write(std::uint64_t index) {
   if (index >= chunks_.size()) chunks_.resize(index + 1);
   std::unique_ptr<std::uint8_t[]>& chunk = chunks_[index];
   if (chunk == nullptr) {
-    chunk = std::make_unique<std::uint8_t[]>(kChunkBytes);  // zero-filled
+    if (!free_list_.empty()) {
+      // Recycle: the page is already faulted in (first-touch locality — see
+      // the header comment). Must be re-zeroed: reads of released chunks
+      // promise zeros, and the recycled buffer holds stale bytes.
+      chunk = std::move(free_list_.back());
+      free_list_.pop_back();
+      std::memset(chunk.get(), 0, kChunkBytes);
+    } else {
+      chunk = std::make_unique<std::uint8_t[]>(kChunkBytes);  // zero-filled
+    }
     ++materialised_;
   }
   return chunk.get();
+}
+
+void Mram::clear() {
+  for (auto& chunk : chunks_) {
+    if (chunk != nullptr) free_list_.push_back(std::move(chunk));
+  }
+  chunks_.clear();
+  materialised_ = 0;
 }
 
 void Mram::write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
@@ -64,7 +81,7 @@ std::uint64_t Mram::release_below(std::uint64_t offset) {
   std::uint64_t released = 0;
   for (std::uint64_t i = 0; i < limit; ++i) {
     if (chunks_[i] != nullptr) {
-      chunks_[i].reset();
+      free_list_.push_back(std::move(chunks_[i]));
       ++released;
     }
   }

@@ -4,7 +4,20 @@
 // are materialised, so a write at a high offset (e.g. the 32 MB broadcast
 // pool base) does not zero-fill everything below it. A full 40-rank system
 // would otherwise pin 160 GB; with sparse chunks the resident set tracks the
-// bytes the simulation really touches. Every access is bounds-checked
+// bytes the simulation really touches.
+//
+// Released chunks (clear(), release_below()) go to a per-bank free list and
+// are recycled by the next write instead of returned to the allocator. In
+// the parallel simulator each worker arena owns one bank and reuses it for
+// every DPU image that worker executes, so after the first round the bank's
+// chunk pages are already faulted in on — and, on a NUMA machine with
+// first-touch policy, resident near — the core that keeps filling them;
+// recycling keeps that locality instead of bouncing pages through the
+// allocator (DESIGN.md §15). Recycled chunks are re-zeroed before reuse:
+// reads of released-then-unwritten ranges must yield zeros exactly like
+// never-written ones.
+//
+// Every access is bounds-checked
 // against the architectural 64 MB, and DMA-shaped accesses additionally
 // enforce the engine's size/alignment rules. The host-side SDK facade and
 // the DPU-side DMA both funnel through this class, so an out-of-bank
@@ -41,11 +54,9 @@ class Mram {
   /// the simulator makes misuse loud.)
   void check_dma(std::uint64_t addr, std::uint64_t bytes) const;
 
-  /// Zero the bank (between unrelated launches in tests).
-  void clear() {
-    chunks_.clear();
-    materialised_ = 0;
-  }
+  /// Zero the bank (between unrelated launches in tests). Materialised
+  /// chunks move to the free list for recycling rather than being freed.
+  void clear();
 
   /// Session reset (DESIGN.md §13): drop every materialised chunk that lies
   /// entirely below `offset` — the per-round scratch of a persistent-
@@ -55,6 +66,9 @@ class Mram {
   /// ones.
   std::uint64_t release_below(std::uint64_t offset);
 
+  /// Chunks sitting in the free list, awaiting reuse (observability/tests).
+  std::uint64_t free_chunks() const { return free_list_.size(); }
+
  private:
   static constexpr std::uint64_t kChunkBytes = 64ull * 1024;
 
@@ -62,6 +76,7 @@ class Mram {
 
   std::uint64_t capacity_;
   std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> free_list_;
   std::uint64_t materialised_ = 0;
 };
 

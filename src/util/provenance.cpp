@@ -31,7 +31,8 @@ std::string timestamp_utc() {
   return buf;
 }
 
-std::string provenance_json(const std::string& params_json) {
+std::string provenance_json(const std::string& params_json,
+                            const std::string& machine_json) {
   std::string out = "{ \"git_sha\": \"";
   out += build_git_sha();
   out += "\", \"build_type\": \"";
@@ -40,6 +41,10 @@ std::string provenance_json(const std::string& params_json) {
   out += timestamp_utc();
   out += "\", \"params\": ";
   out += params_json.empty() ? "null" : params_json;
+  if (!machine_json.empty()) {
+    out += ", \"machine\": ";
+    out += machine_json;
+  }
   out += " }";
   return out;
 }

@@ -24,9 +24,12 @@ std::string timestamp_utc();
 
 /// The shared provenance JSON object:
 ///   { "git_sha": "...", "build_type": "...", "timestamp": "...",
-///     "params": {...} }
+///     "params": {...}, "machine": {...} }
 /// `params_json` must be a complete JSON value (core::params_json) or empty,
-/// in which case the field is emitted as null.
-std::string provenance_json(const std::string& params_json = std::string());
+/// in which case the field is emitted as null. `machine_json` carries
+/// machine-dependent facts (worker threads, hardware concurrency) that must
+/// not gate a cross-machine bench diff; when empty the field is omitted.
+std::string provenance_json(const std::string& params_json = std::string(),
+                            const std::string& machine_json = std::string());
 
 }  // namespace pimnw

@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "util/logging.hpp"
@@ -16,11 +19,47 @@ namespace {
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local int tl_index = -1;
 
+/// CPU quota of the cgroup this process runs in, in whole cores (rounded
+/// up), or 0 when unlimited/undetectable. Checks cgroup v2 (cpu.max:
+/// "<quota|max> <period>") then v1 (cfs_quota_us / cfs_period_us, -1 =
+/// unlimited). hardware_concurrency() reports the host's cores even inside
+/// a 1-core container, so ignoring the quota oversubscribes every pool.
+std::size_t cgroup_cpu_limit() {
+  std::ifstream v2("/sys/fs/cgroup/cpu.max");
+  if (v2) {
+    std::string quota;
+    double period = 0.0;
+    if (v2 >> quota >> period && quota != "max" && period > 0) {
+      const double q = std::stod(quota);
+      if (q > 0) {
+        return static_cast<std::size_t>(std::ceil(q / period));
+      }
+    }
+    return 0;
+  }
+  std::ifstream quota_f("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+  std::ifstream period_f("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+  double quota = 0.0;
+  double period = 0.0;
+  if (quota_f >> quota && period_f >> period && quota > 0 && period > 0) {
+    return static_cast<std::size_t>(std::ceil(quota / period));
+  }
+  return 0;
+}
+
 }  // namespace
+
+std::size_t default_worker_threads() {
+  std::size_t threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t limit = cgroup_cpu_limit();
+  if (limit > 0) threads = std::min(threads, limit);
+  return threads;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = default_worker_threads();
   }
   deques_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -178,9 +217,11 @@ void ThreadPool::parallel_for(std::size_t n,
 
   // One claiming loop, shared by the caller and the helper tasks. `fn` is
   // only captured by reference in the caller's own loop; helpers capture a
-  // copy-free pointer since parallel_for blocks until done == n.
+  // copy-free pointer since parallel_for blocks until done == n. The final
+  // iteration's completion unparks any waiter sleeping below (and any
+  // parked orchestrator — spurious wakes are part of park's contract).
   const auto* fn_ptr = &fn;
-  auto drain = [sweep, fn_ptr, n] {
+  auto drain = [this, sweep, fn_ptr, n] {
     for (;;) {
       const std::size_t i =
           sweep->next.fetch_add(1, std::memory_order_relaxed);
@@ -191,7 +232,9 @@ void ThreadPool::parallel_for(std::size_t n,
         std::lock_guard<std::mutex> lock(sweep->error_mutex);
         if (!sweep->error) sweep->error = std::current_exception();
       }
-      sweep->done.fetch_add(1, std::memory_order_seq_cst);
+      if (sweep->done.fetch_add(1, std::memory_order_seq_cst) + 1 == n) {
+        unpark_all();
+      }
     }
   };
 
@@ -205,9 +248,18 @@ void ThreadPool::parallel_for(std::size_t n,
   // execute arbitrary pool tasks while waiting: if this parallel_for was
   // itself issued from inside a pool task, refusing to help could leave a
   // fully-blocked pool (every worker waiting on someone else's helpers).
+  // When the queues run dry, park on the pool's sleep/notify hook instead
+  // of burning a core on yield-spins — drain's completion (or any enqueue)
+  // wakes the thread the moment there is something to do. This is what lets
+  // a worker that owns a rank-pipeline job block on a nested DPU sweep
+  // without starving the pool (DESIGN.md §15).
   const int index = worker_index();
   while (sweep->done.load(std::memory_order_seq_cst) < n) {
-    if (!run_one(index)) std::this_thread::yield();
+    if (!run_one(index)) {
+      park([&sweep, n] {
+        return sweep->done.load(std::memory_order_seq_cst) >= n;
+      });
+    }
   }
   if (sweep->error) std::rethrow_exception(sweep->error);
 }

@@ -30,6 +30,14 @@
 
 namespace pimnw {
 
+/// The worker-thread count every bench/example/default pool uses when the
+/// user does not pass an explicit --threads: hardware concurrency clamped by
+/// the cgroup CPU quota this process actually runs under (containers and CI
+/// runners routinely hand out fewer cores than the host advertises), with a
+/// floor of 1. One definition so a future policy change (e.g. honouring
+/// CPU affinity masks) lands everywhere at once.
+std::size_t default_worker_threads();
+
 namespace detail {
 
 /// Chase–Lev work-stealing deque of heap-allocated task nodes. Single owner
@@ -154,7 +162,8 @@ class TaskDeque {
 /// threads on destruction after draining all queues.
 class ThreadPool {
  public:
-  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  /// `threads == 0` means default_worker_threads() (hardware concurrency
+  /// clamped by the cgroup CPU quota, min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -205,8 +214,11 @@ class ThreadPool {
   /// spreads across workers instead of piling onto the first chunk. The
   /// caller participates and, once the counter is drained, helps execute
   /// other pool tasks while waiting, which makes nested parallel_for calls
-  /// from inside pool tasks deadlock-free. The first exception thrown by an
-  /// iteration is rethrown here after all iterations finish.
+  /// from inside pool tasks deadlock-free; when there is nothing left to
+  /// help with, the caller parks on the pool's sleep/notify hook (no
+  /// busy-spin) and the final iteration's completion unparks it. The first
+  /// exception thrown by an iteration is rethrown here after all iterations
+  /// finish.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Run one queued task on the calling thread (own deque, then stealing,

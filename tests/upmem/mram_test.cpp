@@ -119,5 +119,54 @@ TEST(MramTest, ReleaseBelowDropsOnlyWholeChunksBelowOffset) {
   EXPECT_EQ(mram.release_below(4 * chunk), 0u);
 }
 
+TEST(MramTest, ReleasedChunksAreRecycledAndZeroed) {
+  // Chunk recycling (DESIGN.md §15): released chunks park on a free list
+  // and the next materialising write reuses them — the page stays faulted
+  // in near the worker that keeps filling this bank — but a recycled chunk
+  // must read as zeros outside the newly written range, exactly like a
+  // fresh one.
+  Mram mram;
+  const std::uint64_t chunk = 64 * 1024;  // kChunkBytes
+  std::vector<std::uint8_t> dirty(chunk, 0xEE);
+  mram.write(0, dirty);
+  mram.write(chunk, dirty);
+  EXPECT_EQ(mram.free_chunks(), 0u);
+
+  EXPECT_EQ(mram.release_below(2 * chunk), 2u);
+  EXPECT_EQ(mram.free_chunks(), 2u);
+  EXPECT_EQ(mram.footprint(), 0u);
+
+  // A one-byte write rematerialises from the free list, not the allocator.
+  std::vector<std::uint8_t> one = {0x42};
+  mram.write(5 * chunk, one);
+  EXPECT_EQ(mram.free_chunks(), 1u);
+  EXPECT_EQ(mram.footprint(), chunk);
+
+  // Everything around the written byte is zero again despite the chunk
+  // having been 0xEE throughout its previous life.
+  std::vector<std::uint8_t> back(chunk);
+  mram.read(5 * chunk, back);
+  EXPECT_EQ(back[0], 0x42);
+  for (std::uint64_t i = 1; i < chunk; ++i) {
+    ASSERT_EQ(back[i], 0) << "stale byte at " << i;
+  }
+}
+
+TEST(MramTest, ClearMovesChunksToFreeList) {
+  Mram mram;
+  const std::uint64_t chunk = 64 * 1024;
+  std::vector<std::uint8_t> data(16, 0xCD);
+  mram.write(0, data);
+  mram.write(3 * chunk, data);
+  mram.clear();
+  EXPECT_EQ(mram.footprint(), 0u);
+  EXPECT_EQ(mram.free_chunks(), 2u);
+  std::vector<std::uint8_t> back(16, 0xFF);
+  mram.read(0, back);
+  EXPECT_EQ(back, std::vector<std::uint8_t>(16, 0));
+  mram.write(0, data);  // recycles one
+  EXPECT_EQ(mram.free_chunks(), 1u);
+}
+
 }  // namespace
 }  // namespace pimnw::upmem

@@ -200,6 +200,54 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(inner_total.load(), 64);
 }
 
+TEST(ThreadPoolTest, ParallelForInsidePostedJobPropagatesInnerError) {
+  // The engine's shape (DESIGN.md §15): a worker owns a rank-launch job —
+  // a submit()ted task, not a parallel_for iteration — and issues a nested
+  // DPU sweep from inside it. The sweep's error must surface at the job's
+  // future, the owning worker must not self-deadlock while it waits for
+  // sweep iterations running on other workers (it parks, it does not spin
+  // on a queue it may have emptied), and unrelated queued work must still
+  // run to completion.
+  ThreadPool pool(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::atomic<int> bystander{0};
+    std::atomic<int> swept{0};
+    auto fut = pool.submit([&] {
+      for (int i = 0; i < 4; ++i) {
+        pool.post([&bystander] { bystander.fetch_add(1); });
+      }
+      pool.parallel_for(16, [&](std::size_t i) {
+        swept.fetch_add(1);
+        if (i == 7) throw std::runtime_error("sweep boom");
+      });
+    });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // parallel_for covers every index even when one throws, so the sweep
+    // ran to completion before rethrowing.
+    EXPECT_EQ(swept.load(), 16) << "trial " << trial;
+    while (bystander.load() < 4) {
+      pool.help_one();
+    }
+    EXPECT_EQ(bystander.load(), 4) << "trial " << trial;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromPostedJobsDoesNotDeadlock) {
+  // Every worker simultaneously owns a job that blocks on its own nested
+  // sweep — the rank-pipelining composition. With park-based waiting a
+  // fully-subscribed pool must still drain all sweeps.
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futs;
+  std::atomic<int> inner_total{0};
+  for (int j = 0; j < 4; ++j) {
+    futs.push_back(pool.submit([&] {
+      pool.parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
 TEST(ThreadPoolTest, ParallelForStaticCoversAllIndicesExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(1000);

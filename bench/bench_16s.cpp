@@ -27,6 +27,7 @@
 #include "data/phylo16s.hpp"
 #include "util/cli.hpp"
 #include "util/provenance.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -214,7 +215,9 @@ int main(int argc, char** argv) {
   out << "  \"ranks\": " << config.nr_ranks << ",\n";
   out << "  \"paper_scale\": " << (cli.get_bool("paper-scale") ? 1 : 0)
       << ",\n";
-  out << "  \"provenance\": " << provenance_json(core::params_json(config))
+  out << "  \"provenance\": "
+      << provenance_json(core::params_json(config),
+                         machine_json(default_worker_threads()))
       << ",\n";
   if (compared) {
     write_mode(out, "redispatch", redispatch);

@@ -25,6 +25,7 @@
 #include "core/backend.hpp"
 #include "core/dispatch.hpp"
 #include "core/host.hpp"
+#include "core/pim_kernel.hpp"
 #include "core/stats.hpp"
 #include "data/synthetic.hpp"
 #include "util/cli.hpp"
@@ -420,6 +421,10 @@ int main(int argc, char** argv) {
            "run only the threads 2-vs-1 bit-identity gate (both engine "
            "modes vs the serial legacy@1 schedule) and exit with the "
            "verdict; writes no JSON");
+  cli.flag("list-backends", false,
+           "print the aligner backend kinds and exit");
+  cli.flag("list-kernels", false,
+           "print the registered PiM kernels and exit");
   cli.flag("log-level", std::string("info"),
            "stderr log level: debug | info | warn | error");
   cli.parse(argc, argv);
@@ -428,6 +433,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --log-level %s\n",
                  cli.get_string("log-level").c_str());
     return 1;
+  }
+
+  if (cli.get_bool("list-backends")) {
+    std::printf("aligner backend kinds:\n");
+    for (int k = 0; k < core::kBackendKinds; ++k) {
+      std::printf("  %s\n",
+                  core::backend_kind_name(static_cast<core::BackendKind>(k)));
+    }
+    return 0;
+  }
+  if (cli.get_bool("list-kernels")) {
+    std::printf("registered PiM kernels:\n");
+    for (const core::PimKernel* k : core::registered_kernels()) {
+      std::printf("  %-8s %s\n", k->name(), k->description());
+    }
+    return 0;
   }
 
   const auto backend_kind = core::parse_backend_kind(cli.get_string("backend"));
@@ -486,13 +507,10 @@ int main(int argc, char** argv) {
     // them with the rest of the provenance stamp.
     core::PimAlignerConfig proto;
     proto.nr_ranks = 2;
-    std::string machine = "{ \"threads\": ";
-    machine += std::to_string(workers.size());
-    machine += ", \"hardware_threads\": ";
-    machine += std::to_string(std::thread::hardware_concurrency());
-    machine += " }";
     out << "  \"provenance\": "
-        << provenance_json(core::params_json(proto), machine) << ",\n";
+        << provenance_json(core::params_json(proto),
+                           machine_json(workers.size()))
+        << ",\n";
   }
   out << "  \"dispatch_backend\": \"" << core::backend_kind_name(*backend_kind)
       << "\",\n";

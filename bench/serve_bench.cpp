@@ -338,7 +338,8 @@ int main(int argc, char** argv) {
   out << "  \"threads\": " << threads << ",\n";
   out << "  \"clients\": " << clients << ",\n";
   out << "  \"pairs\": " << w.pairs.size() << ",\n";
-  out << "  \"provenance\": " << provenance_json() << ",\n";
+  out << "  \"provenance\": " << provenance_json("", machine_json(threads))
+      << ",\n";
   out << "  \"coalesced_pairs_per_second\": " << coalesced_tp << ",\n";
   out << "  \"modeled_pairs_per_second\": " << coalesced_modeled_tp << ",\n";
   out << "  \"coalesced_speedup\": " << speedup << ",\n";

@@ -28,7 +28,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/host.hpp"
+#include "core/pim_kernel.hpp"
 #include "core/stats.hpp"
 #include "data/synthetic.hpp"
 #include "upmem/cost_model.hpp"
@@ -56,6 +58,12 @@ int main(int argc, char** argv) {
   cli.flag("engine", std::string("pipelined"),
            "host engine: pipelined | legacy");
   cli.flag("traceback", true, "produce CIGARs (score-only when false)");
+  cli.flag("kernel", std::string("nw"),
+           "PiM kernel to profile (see --list-kernels)");
+  cli.flag("list-kernels", false,
+           "print the registered PiM kernels and exit");
+  cli.flag("list-backends", false,
+           "print the aligner backend kinds and exit");
   cli.flag("bt-stream-passes", std::int64_t{1},
            "modeled BT streaming passes (>1 stresses the MRAM port)");
   cli.flag("log-level", std::string("info"),
@@ -69,6 +77,30 @@ int main(int argc, char** argv) {
   if (!set_log_level_by_name(cli.get_string("log-level"))) {
     std::fprintf(stderr, "unknown --log-level %s\n",
                  cli.get_string("log-level").c_str());
+    return 1;
+  }
+
+  if (cli.get_bool("list-kernels")) {
+    std::printf("registered PiM kernels:\n");
+    for (const core::PimKernel* k : core::registered_kernels()) {
+      std::printf("  %-8s %s\n", k->name(), k->description());
+    }
+    return 0;
+  }
+  if (cli.get_bool("list-backends")) {
+    std::printf("aligner backend kinds:\n");
+    for (int k = 0; k < core::kBackendKinds; ++k) {
+      std::printf("  %s\n",
+                  core::backend_kind_name(static_cast<core::BackendKind>(k)));
+    }
+    return 0;
+  }
+
+  const core::PimKernel* kernel =
+      core::find_kernel(cli.get_string("kernel"));
+  if (kernel == nullptr) {
+    std::fprintf(stderr, "unknown --kernel %s (try --list-kernels)\n",
+                 cli.get_string("kernel").c_str());
     return 1;
   }
 
@@ -89,6 +121,7 @@ int main(int argc, char** argv) {
   config.engine = cli.get_string("engine") == "legacy"
                       ? core::EngineMode::kLegacyBarrier
                       : core::EngineMode::kPipelined;
+  config.kernel = kernel;
   config.align.band_width = cli.get_int("band-width");
   config.align.traceback = cli.get_bool("traceback");
   config.bt_stream_passes =
@@ -128,9 +161,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "pimnw-prof: %zu pairs x %zu bp, band %" PRId64
-      ", P=%d T=%d, %s kernel, %s engine, bt passes %d\n",
+      ", P=%d T=%d, %s kernel (%s variant), %s engine, bt passes %d\n",
       pairs.size(), data_config.read_length, cli.get_int("band-width"),
-      config.pool.pools, config.pool.tasklets_per_pool,
+      config.pool.pools, config.pool.tasklets_per_pool, kernel->name(),
       core::kernel_variant_name(config.variant),
       core::engine_mode_name(config.engine), config.bt_stream_passes);
   std::printf("%" PRIu64 " pairs aligned over %" PRIu64
@@ -138,14 +171,32 @@ int main(int argc, char** argv) {
               report.total_pairs, stats.dpu_count(),
               report.makespan_seconds * 1e3);
 
+  // Row labels come from the kernel's declared phase table (DESIGN.md §16):
+  // phases the kernel does not declare (e.g. band-shift under WFA) are only
+  // printed when they carry cycles, flagged as undeclared.
+  const auto phase_label = [&](upmem::Phase ph) -> const char* {
+    for (const core::KernelPhase& p : kernel->phase_table()) {
+      if (p.phase == ph) return p.label;
+    }
+    return nullptr;
+  };
   std::printf("phase breakdown (cycles summed over all DPU launches):\n");
   std::printf("  %-14s %16s %7s %16s %16s\n", "phase", "issue cycles", "%",
               "dma stall cyc", "dma bytes");
   for (int ph = 0; ph < upmem::kPhaseCount; ++ph) {
     const auto i = static_cast<std::size_t>(ph);
+    const char* label = phase_label(static_cast<upmem::Phase>(ph));
+    if (label == nullptr) {
+      if (prof.issue_cycles[i] == 0 && prof.dma_stall_cycles[i] == 0 &&
+          prof.dma_bytes[i] == 0) {
+        continue;  // phase not declared by this kernel, and empty
+      }
+      label = upmem::phase_name(static_cast<upmem::Phase>(ph));
+      std::printf("  %-14s (undeclared by kernel '%s')\n", label,
+                  kernel->name());
+    }
     std::printf("  %-14s %16" PRIu64 " %6.2f%% %16" PRIu64 " %16" PRIu64 "\n",
-                upmem::phase_name(static_cast<upmem::Phase>(ph)),
-                prof.issue_cycles[i],
+                label, prof.issue_cycles[i],
                 pct(prof.issue_cycles[i] + prof.dma_stall_cycles[i]),
                 prof.dma_stall_cycles[i], prof.dma_bytes[i]);
   }

@@ -18,6 +18,12 @@
 # DESIGN.md §13): bit-identity of the session path, the exactly-once tiling
 # property, the streaming reduction and the bounded-footprint reset.
 #
+# Each preset also runs the "wfa_kernel" ctest label (the PiM-WFA kernel
+# behind the PimKernel interface, DESIGN.md §16): cross-kernel agreement
+# matrix, bit-identity against host wfa_align/wfa_score, profiler
+# reconciliation for both kernels, session rounds, scratch-planner
+# monotonicity and admission.
+#
 # Each preset also runs the "serve" ctest label (the streaming alignment
 # service, DESIGN.md §14): submit/coalesce bit-identity, exact latency
 # quantiles, admission-window and backpressure edge cases — the label is in
@@ -35,12 +41,12 @@
 # guard that the data-parallel DPU sweep never perturbs modeled results.
 #
 # A --bench flag adds the benchmark regression gate: re-run the
-# BENCH_kernel.json, BENCH_16s.json, BENCH_serve.json and BENCH_host.json
-# producers (micro_kernels timing emitter, bench_16s, serve_bench,
-# host_throughput) into a temporary directory and compare against the
-# committed baselines with scripts/bench_diff.py (direction-aware, 20%
-# tolerance; provenance/machine/scaling subtrees skipped as
-# machine-dependent).
+# BENCH_kernel.json, BENCH_16s.json, BENCH_serve.json, BENCH_host.json and
+# BENCH_backend.json producers (micro_kernels timing emitter, bench_16s,
+# serve_bench, host_throughput, backend_bench) into a temporary directory
+# and compare against the committed baselines with scripts/bench_diff.py
+# (direction-aware, 20% tolerance; provenance/machine/scaling subtrees
+# skipped as machine-dependent).
 #
 # Usage: scripts/verify.sh [--tidy] [--bench] [preset ...]
 #        (default presets: default asan tsan)
@@ -93,6 +99,8 @@ for preset in "${PRESETS[@]}"; do
   ctest --test-dir "$BUILD_DIR" -L 16s -j "$JOBS" --output-on-failure
   echo "=== [$preset] ctest -L serve"
   ctest --test-dir "$BUILD_DIR" -L serve -j "$JOBS" --output-on-failure
+  echo "=== [$preset] ctest -L wfa_kernel"
+  ctest --test-dir "$BUILD_DIR" -L wfa_kernel -j "$JOBS" --output-on-failure
   if [ "$preset" = default ]; then
     echo "=== [$preset] pimnw_prof smoke"
     "$BUILD_DIR/examples/pimnw_prof" --pairs 96 --length 300 >/dev/null
@@ -133,6 +141,13 @@ if [ "$RUN_BENCH" -eq 1 ]; then
       >/dev/null
   echo "=== [bench] diff vs committed baseline"
   python3 scripts/bench_diff.py BENCH_host.json "$BENCH_TMP/BENCH_host.json"
+  echo "=== [bench] regenerate BENCH_backend.json (5-backend dispatch)"
+  cmake --build --preset default -j "$JOBS" --target backend_bench
+  "$ROOT/build/bench/backend_bench" --out "$BENCH_TMP/BENCH_backend.json" \
+      >/dev/null
+  echo "=== [bench] diff vs committed baseline"
+  python3 scripts/bench_diff.py BENCH_backend.json \
+      "$BENCH_TMP/BENCH_backend.json"
 fi
 
 echo "verify.sh: all presets green (${PRESETS[*]})"

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/load_balance.hpp"
+#include "core/wfa_kernel.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -57,6 +58,8 @@ const char* backend_kind_name(BackendKind kind) {
       return "wfa";
     case BackendKind::kSession:
       return "session";
+    case BackendKind::kPimWfa:
+      return "pimwfa";
   }
   return "?";
 }
@@ -66,6 +69,7 @@ std::optional<BackendKind> parse_backend_kind(std::string_view name) {
   if (name == "cpu") return BackendKind::kCpu;
   if (name == "wfa") return BackendKind::kWfa;
   if (name == "session") return BackendKind::kSession;
+  if (name == "pimwfa") return BackendKind::kPimWfa;
   return std::nullopt;
 }
 
@@ -279,7 +283,7 @@ std::vector<PairOutput> PimBackend::wait(Ticket ticket) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++accum_.submissions;
-  accum_.kind = BackendKind::kPim;
+  accum_.kind = kind();  // kPim, or kPimWfa in the subclass
   accum_.total_pairs += pairs.size();
   for (const PairOutput& output : outputs) {
     if (output.ok) ++accum_.aligned;
@@ -302,9 +306,54 @@ BackendReport PimBackend::drain() {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   BackendReport report = accum_;
-  report.kind = BackendKind::kPim;
+  report.kind = kind();
   accum_ = BackendReport{};
   return report;
+}
+
+// ------------------------------------------------------------- PimWfaBackend
+
+PimWfaBackend::PimWfaBackend(Config config)
+    : PimBackend([&config] {
+        PimBackend::Config base;
+        base.aligner = std::move(config.aligner);
+        base.aligner.kernel = &wfa_kernel();
+        base.sim_cells_per_second = config.sim_cells_per_second;
+        return base;
+      }()),
+      expected_divergence_(config.expected_divergence),
+      sim_cells_per_second_(config.sim_cells_per_second) {}
+
+BackendCapabilities PimWfaBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.traceback = aligner_config().align.traceback;
+  caps.affine_gaps = true;
+  caps.max_pair_length = kWfaMaxSeqBases;  // WRAM-resident sequences
+  caps.modeled_time = true;
+  return caps;
+}
+
+double PimWfaBackend::estimate_cells(std::size_t len_a,
+                                     std::size_t len_b) const {
+  // Modeled alignment cost: one error per expected_divergence bases at the
+  // converted mismatch penalty x = 2(a+b), clamped to the configured cost
+  // cap (beyond it the kernel gives up, so no more work accrues). The sweep
+  // touches ~s wavefronts of up to min(2s+1, m+n) diagonals — never fewer
+  // cells than the one pass the extend loop makes over similar sequences.
+  const align::Scoring& scoring = aligner_config().align.scoring;
+  const double span = static_cast<double>(len_a + len_b);
+  const double penalty =
+      2.0 * static_cast<double>(scoring.match + scoring.mismatch);
+  double cost = expected_divergence_ * span * 0.5 * penalty;
+  const std::uint64_t cap = aligner_config().align.wfa_max_cost;
+  if (cap != 0) cost = std::min(cost, static_cast<double>(cap));
+  const double width = std::min(2.0 * cost + 1.0, span);
+  return std::max(span, cost * width);
+}
+
+double PimWfaBackend::estimate_seconds(std::size_t len_a,
+                                       std::size_t len_b) const {
+  return estimate_cells(len_a, len_b) / sim_cells_per_second_ * cost_scale();
 }
 
 // ------------------------------------------------------------- SessionBackend

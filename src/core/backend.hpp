@@ -41,8 +41,8 @@ class ThreadPool;
 
 namespace pimnw::core {
 
-enum class BackendKind { kPim, kCpu, kWfa, kSession };
-inline constexpr int kBackendKinds = 4;
+enum class BackendKind { kPim, kCpu, kWfa, kSession, kPimWfa };
+inline constexpr int kBackendKinds = 5;
 
 const char* backend_kind_name(BackendKind kind);
 std::optional<BackendKind> parse_backend_kind(std::string_view name);
@@ -194,6 +194,42 @@ class PimBackend : public AlignerBackend {
   Ticket next_ticket_ = 1;
   std::map<Ticket, std::span<const PairInput>> queued_;
   BackendReport accum_;
+};
+
+/// The PiM-WFA kernel (core/wfa_kernel.hpp) behind the backend interface:
+/// the same modeled PiM machine as PimBackend, running the wavefront kernel
+/// instead of banded NW. Work is cost-proportional, so estimate_seconds
+/// carries a divergence prior like the host WfaBackend — the dispatcher can
+/// now express "similar pairs to PiM-WFA, divergent pairs to PiM-NW" routes
+/// entirely on the modeled machine.
+class PimWfaBackend : public PimBackend {
+ public:
+  struct Config {
+    /// `aligner.kernel` is overridden to the WFA kernel; everything else
+    /// (ranks, pools, engine mode, traceback, wfa_max_cost) applies as-is.
+    PimAlignerConfig aligner;
+    /// Expected per-base divergence of the inputs (drives the modeled
+    /// alignment cost, hence the wavefront work estimate).
+    double expected_divergence = 0.05;
+    /// Simulation wall-clock throughput assumed by estimate_seconds, in
+    /// wavefront cells per second; calibrate with Dispatcher::calibrate.
+    double sim_cells_per_second = 400e6;
+  };
+
+  explicit PimWfaBackend(Config config);
+
+  BackendKind kind() const override { return BackendKind::kPimWfa; }
+  BackendCapabilities capabilities() const override;
+  double estimate_seconds(std::size_t len_a, std::size_t len_b) const override;
+
+  /// The wavefront-cell estimate underlying estimate_seconds: the modeled
+  /// cost s ≈ divergence·(m+n)·x/2 (clamped to wfa_max_cost when bounded)
+  /// drives O(s·w) work, never less than one pass over the sequences.
+  double estimate_cells(std::size_t len_a, std::size_t len_b) const;
+
+ private:
+  double expected_divergence_;
+  double sim_cells_per_second_;
 };
 
 /// A persistent-database session behind the backend interface (DESIGN.md

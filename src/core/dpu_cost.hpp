@@ -67,6 +67,59 @@ inline const KernelCost& kernel_cost(KernelVariant variant) {
   return variant == KernelVariant::kPureC ? kPureCCost : kAsmCost;
 }
 
+/// Instruction budgets of the wavefront (WFA) DPU kernel
+/// (core/wfa_kernel.hpp). Same philosophy as KernelCost: the simulator runs
+/// the real recurrence in C++ and charges per unit of work. The units differ
+/// from banded NW because the algorithm does: work is per wavefront *cell*
+/// (one I/D/M furthest-offset update, a handful of three-way maxes and
+/// guards) plus per *matched base* consumed by the extend loop — which is
+/// where the cmpb4 4-byte compare of the asm variant pays off, exactly as it
+/// does in the NW score loop.
+struct WfaKernelCost {
+  /// Per wavefront cell: I/D/M update (two 2-way maxes, one 3-way max,
+  /// kNone guards, bounds test, store).
+  std::uint64_t cell_instr;
+  /// Per matched base consumed by the match-extension loop.
+  std::uint64_t extend_base_instr;
+  /// Master-tasklet work per cost step: source-header fetch decisions,
+  /// bounds widen/clamp, slot steering, loop control.
+  std::uint64_t step_master_instr;
+  /// Per-tasklet barrier cost per cost step (the pool synchronises at
+  /// wavefront granularity, mirroring the NW anti-diagonal barrier).
+  std::uint64_t barrier_instr;
+  /// Backtrace walk, per emitted alignment column (probe address
+  /// arithmetic, source disambiguation, run emission).
+  std::uint64_t traceback_op_instr;
+  /// Per-pair setup (descriptor fetch, sequence residency, result write).
+  std::uint64_t pair_setup_instr;
+  /// Kernel boot / header parse, once per launch (per pool).
+  std::uint64_t launch_setup_instr;
+};
+
+inline constexpr WfaKernelCost kWfaPureCCost = {
+    .cell_instr = 26,
+    .extend_base_instr = 6,
+    .step_master_instr = 40,
+    .barrier_instr = 4,
+    .traceback_op_instr = 30,
+    .pair_setup_instr = 600,
+    .launch_setup_instr = 2000,
+};
+
+inline constexpr WfaKernelCost kWfaAsmCost = {
+    .cell_instr = 18,
+    .extend_base_instr = 2,
+    .step_master_instr = 32,
+    .barrier_instr = 4,
+    .traceback_op_instr = 16,
+    .pair_setup_instr = 600,
+    .launch_setup_instr = 2000,
+};
+
+inline const WfaKernelCost& wfa_kernel_cost(KernelVariant variant) {
+  return variant == KernelVariant::kPureC ? kWfaPureCCost : kWfaAsmCost;
+}
+
 /// Host-side cost model for the orchestration overhead the paper measures in
 /// §5 (15% of total on S1000, <0.1% on S30000): per-pair 2-bit encoding /
 /// batch building / result decoding, plus a fixed cost per rank launch

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "align/adaptive_steering.hpp"
+#include "align/banded_adaptive.hpp"
 #include "align/bt_code.hpp"
 #include "align/scoring.hpp"
 #include "align/traceback.hpp"
@@ -948,6 +949,76 @@ void NwDpuProgram::run(DpuContext& ctx) {
                         bt_stream_passes_);
     aligner.align(pair, pair_index);
   }
+}
+
+/// The engine's per-worker arena for the NW kernel: one KernelScratch reused
+/// across every launch the worker executes.
+struct NwWorkspace final : KernelWorkspace {
+  KernelScratch scratch;
+};
+
+const char* NwKernel::description() const {
+  return "banded adaptive Needleman-Wunsch (paper §4.2): O((m+n)·w) cells, "
+         "affine gaps, traceback + session capable";
+}
+
+std::uint32_t NwKernel::batch_flags(const AlignConfig& config) const {
+  return config.traceback ? kFlagTraceback : 0;
+}
+
+std::uint32_t NwKernel::pair_cigar_cap(std::uint64_t len_a,
+                                       std::uint64_t len_b,
+                                       const AlignConfig& config) const {
+  // Worst case every alignment column is its own run.
+  return config.traceback ? static_cast<std::uint32_t>(len_a + len_b + 2) : 0;
+}
+
+std::uint64_t NwKernel::pair_scratch_bytes(std::uint64_t len_a,
+                                           std::uint64_t len_b,
+                                           const AlignConfig& config) const {
+  if (!config.traceback) return 0;
+  // One window-origin word plus one nibble-packed BT row per anti-diagonal.
+  const std::uint64_t diags = len_a + len_b + 1;
+  return align8(align8(diags * 4) + diags * bt_row_bytes(config.band_width));
+}
+
+std::unique_ptr<KernelWorkspace> NwKernel::make_workspace() const {
+  return std::make_unique<NwWorkspace>();
+}
+
+std::unique_ptr<upmem::DpuProgram> NwKernel::make_program(
+    const PimAlignerConfig& config, KernelWorkspace* workspace) const {
+  KernelScratch* scratch =
+      workspace != nullptr ? &static_cast<NwWorkspace*>(workspace)->scratch
+                           : nullptr;
+  return std::make_unique<NwDpuProgram>(config.pool, config.variant,
+                                        config.sim_path, scratch,
+                                        config.bt_stream_passes);
+}
+
+std::span<const KernelPhase> NwKernel::phase_table() const {
+  static constexpr KernelPhase kPhases[] = {
+      {upmem::Phase::kSetup, "setup"},
+      {upmem::Phase::kCompute, "compute"},
+      {upmem::Phase::kBandShift, "band-shift"},
+      {upmem::Phase::kBtDma, "bt-dma"},
+      {upmem::Phase::kTraceback, "traceback"},
+  };
+  return kPhases;
+}
+
+align::AlignResult NwKernel::host_reference(std::string_view a,
+                                            std::string_view b,
+                                            const AlignConfig& config) const {
+  align::BandedAdaptiveOptions options;
+  options.band_width = config.band_width;
+  options.traceback = config.traceback;
+  return align::banded_adaptive(a, b, config.scoring, options);
+}
+
+const PimKernel& nw_kernel() {
+  static const NwKernel kKernel;
+  return kKernel;
 }
 
 }  // namespace pimnw::core

@@ -22,6 +22,7 @@
 
 #include "core/dpu_cost.hpp"
 #include "core/params.hpp"
+#include "core/pim_kernel.hpp"
 #include "upmem/dpu.hpp"
 
 namespace pimnw::core {
@@ -71,6 +72,31 @@ class NwDpuProgram : public upmem::DpuProgram {
   SimPath sim_path_;  // host execution strategy; never affects modeled cost
   KernelScratch* scratch_;  // optional shared arena (not owned)
   int bt_stream_passes_;    // modeled BT streaming passes (>= 1)
+};
+
+/// PimKernel registrant for the banded-NW kernel: the image geometry, flag
+/// bits and program construction the engine/layout used to hardcode, now
+/// behind the algorithm-agnostic interface (DESIGN.md §16). Every number it
+/// reports is byte-identical to the pre-refactor inline arithmetic.
+class NwKernel final : public PimKernel {
+ public:
+  const char* name() const override { return "nw"; }
+  const char* description() const override;
+
+  std::uint32_t batch_flags(const AlignConfig& config) const override;
+  std::uint32_t pair_cigar_cap(std::uint64_t len_a, std::uint64_t len_b,
+                               const AlignConfig& config) const override;
+  std::uint64_t pair_scratch_bytes(std::uint64_t len_a, std::uint64_t len_b,
+                                   const AlignConfig& config) const override;
+
+  std::unique_ptr<KernelWorkspace> make_workspace() const override;
+  std::unique_ptr<upmem::DpuProgram> make_program(
+      const PimAlignerConfig& config, KernelWorkspace* workspace) const override;
+
+  std::span<const KernelPhase> phase_table() const override;
+
+  align::AlignResult host_reference(std::string_view a, std::string_view b,
+                                    const AlignConfig& config) const override;
 };
 
 }  // namespace pimnw::core

@@ -15,13 +15,14 @@ void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
                    const PimAlignerConfig& config,
                    std::optional<std::uint64_t> pool_offset,
                    const SeqPool* shared_pool) {
+  const PimKernel& kernel = kernel_for(config);
   if (shared_pool != nullptr) {
-    plan.image = build_mram_image(plan.batch, *shared_pool, config.align,
-                                  config.pool, pool_offset);
+    plan.image = build_mram_image(plan.batch, *shared_pool, kernel,
+                                  config.align, config.pool, pool_offset);
   } else {
     const SeqPool pool = SeqPool::build(interner.seqs());
-    plan.image =
-        build_mram_image(plan.batch, pool, config.align, config.pool);
+    plan.image = build_mram_image(plan.batch, pool, kernel, config.align,
+                                  config.pool);
   }
   plan.prep_bases = interner.bases();
 
@@ -39,12 +40,15 @@ void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
   }
 }
 
-void finalize_session_plan(DpuPlan& plan, const AlignConfig& config,
+void finalize_session_plan(DpuPlan& plan, const PimKernel& kernel,
+                           const AlignConfig& config, const PoolConfig& pools,
                            std::uint64_t db_mram_offset,
-                           std::uint32_t db_nr_seqs) {
+                           std::uint32_t db_nr_seqs,
+                           std::uint64_t scratch_stride) {
   plan.session = true;
-  plan.image = build_session_round_image(plan.batch, config, db_mram_offset,
-                                         db_nr_seqs);
+  plan.image =
+      build_session_round_image(plan.batch, kernel, config, pools,
+                                db_mram_offset, db_nr_seqs, scratch_stride);
   plan.prep_bases = 0;  // the database was packed once, at session open
   plan.meta.reserve(plan.batch.pairs.size());
   for (const DpuBatchInput::Pair& pr : plan.batch.pairs) {
@@ -119,11 +123,12 @@ void decode_readback(const DpuPlan& plan,
 /// kernel never reads bank bytes it did not write this launch, the same
 /// invariant the legacy mode relies on when it reuses rank banks across
 /// batches), a reusable WRAM scratchpad (reset() restores the fresh-launch
-/// state) and the host-side KernelScratch snapshots.
+/// state) and the kernel's host-side workspace (PimKernel::make_workspace;
+/// may be null for kernels that keep no host scratch).
 struct ExecEngine::Arena {
   upmem::Dpu dpu;
   upmem::Wram wram;
-  KernelScratch scratch;
+  std::unique_ptr<KernelWorkspace> workspace;
   std::vector<std::uint8_t> readback;
   std::uint64_t broadcast_seen = 0;
 };
@@ -156,6 +161,7 @@ struct ExecEngine::Slot {
 ExecEngine::ExecEngine(const PimAlignerConfig& config,
                        const HostCost& host_cost)
     : config_(config),
+      kernel_(kernel_for(config)),
       host_cost_(host_cost),
       pool_(config.workers != nullptr ? config.workers : &global_pool()),
       system_(config.nr_ranks),
@@ -173,6 +179,7 @@ ExecEngine::ExecEngine(const PimAlignerConfig& config,
     arenas_.reserve(pool_->size() + 1);
     for (std::size_t i = 0; i < pool_->size() + 1; ++i) {
       arenas_.push_back(std::make_unique<Arena>());
+      arenas_.back()->workspace = kernel_.make_workspace();
     }
   }
 }
@@ -373,10 +380,10 @@ void ExecEngine::exec_plan(Slot& slot, int dpu, std::vector<PairOutput>* out) {
     arena.broadcast_seen = broadcast_version_;
   }
   arena.dpu.mram().write(0, plan.image.bytes);
-  NwDpuProgram program(config_.pool, config_.variant, config_.sim_path,
-                       &arena.scratch, config_.bt_stream_passes);
+  const std::unique_ptr<upmem::DpuProgram> program =
+      kernel_.make_program(config_, arena.workspace.get());
   slot.summaries[static_cast<std::size_t>(dpu)] = arena.dpu.launch(
-      program, config_.pool.pools, config_.pool.tasklets_per_pool,
+      *program, config_.pool.pools, config_.pool.tasklets_per_pool,
       arena.wram);
   slot.profiles[static_cast<std::size_t>(dpu)] = arena.dpu.last_profile();
   slot.ran[static_cast<std::size_t>(dpu)] = true;
@@ -549,9 +556,7 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
         if (plans[static_cast<std::size_t>(d)].batch.pairs.empty()) {
           return nullptr;
         }
-        return std::make_unique<NwDpuProgram>(config_.pool, config_.variant,
-                                              config_.sim_path, nullptr,
-                                              config_.bt_stream_passes);
+        return kernel_.make_program(config_, nullptr);
       },
       config_.pool.pools, config_.pool.tasklets_per_pool, pool_,
       /*static_chunking=*/false);

@@ -42,6 +42,7 @@
 #include "core/dpu_kernel.hpp"
 #include "core/host.hpp"
 #include "core/mram_layout.hpp"
+#include "core/pim_kernel.hpp"
 #include "core/stats.hpp"
 #include "upmem/system.hpp"
 
@@ -134,9 +135,15 @@ void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
 /// Serialize a session round plan (DESIGN.md §13): compact pair table, score
 /// -only results, sequence table resident at `db_mram_offset`. Sets
 /// plan.session and fills meta with (global_id, seq_a, seq_b).
-void finalize_session_plan(DpuPlan& plan, const AlignConfig& config,
+/// `scratch_stride` is the per-pool MRAM scratch stride the kernel needs for
+/// any pair of the session's database (the caller computes it once at session
+/// open from the two longest database sequences — valid because
+/// PimKernel::pair_scratch_bytes is monotone in each length).
+void finalize_session_plan(DpuPlan& plan, const PimKernel& kernel,
+                           const AlignConfig& config, const PoolConfig& pools,
                            std::uint64_t db_mram_offset,
-                           std::uint32_t db_nr_seqs);
+                           std::uint32_t db_nr_seqs,
+                           std::uint64_t scratch_stride);
 
 /// Decode one DPU's readback region into PairOutputs (indexed by global id).
 /// Global ids are unique across a run, so concurrent decodes of different
@@ -210,6 +217,7 @@ class ExecEngine {
   void legacy_run_batch(PreparedBatch& prepared, std::vector<PairOutput>* out);
 
   const PimAlignerConfig& config_;
+  const PimKernel& kernel_;  // config_.kernel or nw_kernel(); never null
   const HostCost& host_cost_;
   ThreadPool* pool_;  // config_.workers or global_pool(); never null
   upmem::PimSystem system_;  // banks used by the legacy mode only

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <memory>
 
-#include "align/banded_adaptive.hpp"
 #include "core/engine.hpp"
 #include "core/load_balance.hpp"
 #include "core/mram_layout.hpp"
+#include "core/pim_kernel.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/trace.hpp"
@@ -15,15 +15,12 @@ namespace pimnw::core {
 namespace {
 
 /// Verify-mode cross-check: the DPU result must be bit-identical to the
-/// executable specification align::banded_adaptive.
+/// kernel's executable host specification (align::banded_adaptive for NW,
+/// align::wfa_align for WFA — PimKernel::host_reference).
 void verify_against_reference(const PairOutput& output, std::string_view a,
-                              std::string_view b,
+                              std::string_view b, const PimKernel& kernel,
                               const AlignConfig& config) {
-  align::BandedAdaptiveOptions options;
-  options.band_width = config.band_width;
-  options.traceback = config.traceback;
-  const align::AlignResult ref =
-      align::banded_adaptive(a, b, config.scoring, options);
+  const align::AlignResult ref = kernel.host_reference(a, b, config);
   PIMNW_CHECK_MSG(output.ok == ref.reached_end,
                   "verify: reachability mismatch vs reference");
   if (!ref.reached_end) return;
@@ -102,7 +99,8 @@ RunReport PimAligner::run_batches(const RunSpec& spec,
       // reference would happily align them, so there is nothing to compare.
       if ((*out)[p].status == PairStatus::kOversized) continue;
       const PairInput pair = spec.pair_of(static_cast<std::uint32_t>(p));
-      verify_against_reference((*out)[p], pair.a, pair.b, config_.align);
+      verify_against_reference((*out)[p], pair.a, pair.b,
+                               kernel_for(config_), config_.align);
     }
   }
   return report;
@@ -120,13 +118,16 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
   // whole run — a service front door cannot crash on one bad request.
   // Genuinely oversized *batches* (too many pairs per DPU) still fail the
   // batch-level check, as before.
+  const PimKernel& kernel = kernel_for(config_);
   std::vector<std::uint32_t> accepted;
   accepted.reserve(pairs.size());
   std::uint64_t rejected = 0;
   for (std::size_t p = 0; p < pairs.size(); ++p) {
-    if (single_pair_image_bytes(pairs[p].a.size(), pairs[p].b.size(),
+    if (!kernel.pair_admissible(pairs[p].a.size(), pairs[p].b.size(),
+                                config_.align, config_.pool) ||
+        single_pair_image_bytes(pairs[p].a.size(), pairs[p].b.size(), kernel,
                                 config_.align, config_.pool) >
-        upmem::kMramBytes) {
+            upmem::kMramBytes) {
       ++rejected;
       PIMNW_WARN("rejecting oversized pair: pair=" << p << " len_a="
                                                    << pairs[p].a.size()

@@ -10,11 +10,6 @@ namespace {
 
 std::uint64_t align8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
 
-/// Bytes of one nibble-packed BT row (one anti-diagonal), DMA-aligned.
-std::uint64_t bt_row_bytes(std::int64_t band_width) {
-  return align8(static_cast<std::uint64_t>(band_width + 1) / 2);
-}
-
 }  // namespace
 
 std::uint32_t encode_cigar_run(dna::CigarOp op, std::uint32_t len) {
@@ -56,7 +51,8 @@ const SeqPool::Entry& SeqPool::entry(std::uint32_t i) const {
 }
 
 MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
-                           const AlignConfig& config, const PoolConfig& pools,
+                           const PimKernel& kernel, const AlignConfig& config,
+                           const PoolConfig& pools,
                            std::optional<std::uint64_t> pool_mram_offset) {
   const std::uint32_t nr_pairs = static_cast<std::uint32_t>(batch.pairs.size());
   const std::uint32_t nr_seqs = pool.size();
@@ -66,7 +62,7 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
   header.nr_seqs = nr_seqs;
   header.nr_pairs = nr_pairs;
   header.band_width = static_cast<std::int32_t>(config.band_width);
-  header.flags = config.traceback ? kFlagTraceback : 0;
+  header.flags = kernel.batch_flags(config);
   header.match = config.scoring.match;
   header.mismatch = config.scoring.mismatch;
   header.gap_open = config.scoring.gap_open;
@@ -91,36 +87,31 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
   header.result_off = cursor;
   cursor += static_cast<std::uint64_t>(nr_pairs) * sizeof(PairResult);
 
-  // CIGAR slots. Worst case every alignment column is its own run.
+  // CIGAR slots (kernel-sized; worst case every column is its own run) and
+  // the per-pool scratch stride: the kernel's per-pair need, max over the
+  // batch (pair_scratch_bytes is monotone in each length, so the max is the
+  // honest worst case — the PimKernel contract).
   header.cigar_off = cursor;
   std::vector<std::uint64_t> cigar_offs(nr_pairs);
   std::vector<std::uint32_t> cigar_caps(nr_pairs);
-  std::uint64_t max_diags = 1;
+  std::uint64_t scratch_stride = 0;
   for (std::uint32_t p = 0; p < nr_pairs; ++p) {
     const auto& pr = batch.pairs[p];
     const std::uint64_t m = pool.entry(pr.seq_a).length;
     const std::uint64_t n = pool.entry(pr.seq_b).length;
-    max_diags = std::max(max_diags, m + n + 1);
-    std::uint32_t cap = 0;
-    if (config.traceback) {
-      cap = static_cast<std::uint32_t>(m + n + 2);
-    }
+    scratch_stride =
+        std::max(scratch_stride, kernel.pair_scratch_bytes(m, n, config));
+    const std::uint32_t cap = kernel.pair_cigar_cap(m, n, config);
     cigar_offs[p] = cursor;
     cigar_caps[p] = cap;
     cursor = align8(cursor + static_cast<std::uint64_t>(cap) * 4);
   }
   const std::uint64_t readback_end = cursor;
 
-  // BT scratch: one slice per pool, sized for the largest pair of the batch.
+  // Kernel scratch: one slice per pool, reused across the pool's pairs
+  // (BT rows for NW, retained wavefronts for WFA).
   header.bt_scratch_off = cursor;
-  if (config.traceback && nr_pairs > 0) {
-    const std::uint64_t lo_bytes = align8(max_diags * 4);
-    const std::uint64_t rows_bytes =
-        max_diags * bt_row_bytes(config.band_width);
-    header.bt_scratch_stride = align8(lo_bytes + rows_bytes);
-  } else {
-    header.bt_scratch_stride = 0;
-  }
+  header.bt_scratch_stride = scratch_stride;
   cursor += header.bt_scratch_stride * static_cast<std::uint64_t>(pools.pools);
   header.total_bytes = cursor;
 
@@ -181,6 +172,7 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
 
 std::uint64_t single_pair_image_bytes(std::uint64_t len_a,
                                       std::uint64_t len_b,
+                                      const PimKernel& kernel,
                                       const AlignConfig& config,
                                       const PoolConfig& pools) {
   const std::uint64_t seq_table_off = sizeof(BatchHeader);
@@ -194,14 +186,10 @@ std::uint64_t single_pair_image_bytes(std::uint64_t len_a,
   pool_bytes = align8(pool_bytes + dna::PackedSequence::bytes_for(len_b));
   cursor = align8(cursor + pool_bytes);
   cursor += sizeof(PairResult);
-  if (config.traceback) {
-    const std::uint64_t cap = len_a + len_b + 2;  // cigar slot, runs of 4 B
-    cursor = align8(cursor + cap * 4);
-    const std::uint64_t max_diags = len_a + len_b + 1;
-    const std::uint64_t stride =
-        align8(align8(max_diags * 4) + max_diags * bt_row_bytes(config.band_width));
-    cursor += stride * static_cast<std::uint64_t>(pools.pools);
-  }
+  const std::uint64_t cap = kernel.pair_cigar_cap(len_a, len_b, config);
+  cursor = align8(cursor + cap * 4);
+  cursor += kernel.pair_scratch_bytes(len_a, len_b, config) *
+            static_cast<std::uint64_t>(pools.pools);
   return cursor;
 }
 
@@ -231,9 +219,12 @@ std::vector<std::uint8_t> build_session_db_image(const SeqPool& pool,
 }
 
 MramImage build_session_round_image(const DpuBatchInput& batch,
+                                    const PimKernel& kernel,
                                     const AlignConfig& config,
+                                    const PoolConfig& pools,
                                     std::uint64_t db_mram_offset,
-                                    std::uint32_t db_nr_seqs) {
+                                    std::uint32_t db_nr_seqs,
+                                    std::uint64_t scratch_stride) {
   PIMNW_CHECK_MSG(!config.traceback,
                   "session rounds are score-only; traceback requires the "
                   "per-batch path");
@@ -244,7 +235,7 @@ MramImage build_session_round_image(const DpuBatchInput& batch,
   header.nr_seqs = db_nr_seqs;
   header.nr_pairs = nr_pairs;
   header.band_width = static_cast<std::int32_t>(config.band_width);
-  header.flags = kFlagSession;
+  header.flags = kernel.batch_flags(config) | kFlagSession;
   header.match = config.scoring.match;
   header.mismatch = config.scoring.mismatch;
   header.gap_open = config.scoring.gap_open;
@@ -262,12 +253,13 @@ MramImage build_session_round_image(const DpuBatchInput& batch,
       static_cast<std::uint64_t>(nr_pairs) * sizeof(SessionResult);
   header.cigar_off = readback_end;
   header.bt_scratch_off = readback_end;
-  header.bt_scratch_stride = 0;
-  header.total_bytes = readback_end;
+  header.bt_scratch_stride = scratch_stride;
+  header.total_bytes =
+      readback_end + scratch_stride * static_cast<std::uint64_t>(pools.pools);
 
-  PIMNW_CHECK_MSG(readback_end <= db_mram_offset,
+  PIMNW_CHECK_MSG(header.total_bytes <= db_mram_offset,
                   "session round image ("
-                      << readback_end
+                      << header.total_bytes
                       << " bytes) collides with the resident database at "
                       << db_mram_offset);
 

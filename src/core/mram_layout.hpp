@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "core/pim_kernel.hpp"
 #include "dna/cigar.hpp"
 
 namespace pimnw::core {
@@ -58,8 +59,14 @@ inline constexpr std::uint32_t kFlagTraceback = 1u;
 /// Session mode (DESIGN.md §13): the sequence table is resident in the
 /// broadcast region, the pair table holds compact SessionPairEntry records
 /// and the results region holds compact SessionResult records. Mutually
-/// exclusive with kFlagTraceback — sessions are score-only.
+/// exclusive with kFlagTraceback — sessions are score-only. This bit is
+/// owned by the layout layer; every other flag bit belongs to the kernel
+/// (PimKernel::batch_flags, DESIGN.md §16).
 inline constexpr std::uint32_t kFlagSession = 2u;
+/// The batch runs the wavefront kernel (core/wfa_kernel.hpp) instead of
+/// banded NW. Emitted by WfaKernel::batch_flags; NW batches never set it,
+/// so their header bytes are untouched by the kernel abstraction.
+inline constexpr std::uint32_t kFlagWfa = 4u;
 
 struct SeqEntry {
   std::uint64_t data_off;  // absolute MRAM offset of the packed bases
@@ -166,9 +173,13 @@ struct MramImage {
 /// `pool` provides the sequences; when `pool_mram_offset` is nullopt the
 /// pool bytes are appended to the image (per-DPU mode), otherwise sequence
 /// offsets point at the given broadcast offset and the pool bytes are NOT
-/// included. Throws CheckError if the footprint exceeds the 64 MB bank.
+/// included. `kernel` supplies the algorithm-specific numbers: the flag
+/// word, per-pair CIGAR slot capacity, and the per-pool scratch stride
+/// (max over the batch's pairs). Throws CheckError if the footprint exceeds
+/// the 64 MB bank.
 MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
-                           const AlignConfig& config, const PoolConfig& pools,
+                           const PimKernel& kernel, const AlignConfig& config,
+                           const PoolConfig& pools,
                            std::optional<std::uint64_t> pool_mram_offset =
                                std::nullopt);
 
@@ -181,6 +192,7 @@ MramImage build_mram_image(const DpuBatchInput& batch, const SeqPool& pool,
 /// on build_mram_image's batch-level check.
 std::uint64_t single_pair_image_bytes(std::uint64_t len_a,
                                       std::uint64_t len_b,
+                                      const PimKernel& kernel,
                                       const AlignConfig& config,
                                       const PoolConfig& pools);
 
@@ -200,12 +212,18 @@ std::vector<std::uint8_t> build_session_db_image(const SeqPool& pool,
 
 /// One session round's per-DPU image: a kFlagSession header pointing its
 /// seq_table_off at the resident database, a compact SessionPairEntry work
-/// list, and a SessionResult region the DPU fills in. No CIGAR slots, no BT
-/// scratch beyond the band buffers the kernel always keeps in WRAM.
-/// Throws CheckError if the round image would collide with `db_mram_offset`.
+/// list, and a SessionResult region the DPU fills in. No CIGAR slots.
+/// `scratch_stride` is the per-pool MRAM scratch the kernel needs per round
+/// (0 for NW score-only; the WFA kernel keeps its wavefront ring there) —
+/// the caller computes it via PimKernel::pair_scratch_bytes because the
+/// round image itself never sees sequence lengths. Throws CheckError if the
+/// round image (incl. scratch) would collide with `db_mram_offset`.
 MramImage build_session_round_image(const DpuBatchInput& batch,
+                                    const PimKernel& kernel,
                                     const AlignConfig& config,
+                                    const PoolConfig& pools,
                                     std::uint64_t db_mram_offset,
-                                    std::uint32_t db_nr_seqs);
+                                    std::uint32_t db_nr_seqs,
+                                    std::uint64_t scratch_stride);
 
 }  // namespace pimnw::core

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/pim_kernel.hpp"
+
 namespace pimnw::core {
 
 const char* kernel_variant_name(KernelVariant variant) {
@@ -29,9 +31,11 @@ std::string params_json(const PimAlignerConfig& config) {
   os << "{ \"nr_ranks\": " << config.nr_ranks
      << ", \"pools\": " << config.pool.pools
      << ", \"tasklets_per_pool\": " << config.pool.tasklets_per_pool
+     << ", \"kernel\": \"" << kernel_for(config).name() << "\""
      << ", \"variant\": \"" << kernel_variant_name(config.variant) << "\""
      << ", \"sim_path\": \"" << sim_path_name(config.sim_path) << "\""
      << ", \"band_width\": " << config.align.band_width
+     << ", \"wfa_max_cost\": " << config.align.wfa_max_cost
      << ", \"traceback\": " << (config.align.traceback ? "true" : "false")
      << ", \"match\": " << config.align.scoring.match
      << ", \"mismatch\": " << config.align.scoring.mismatch

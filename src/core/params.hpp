@@ -14,6 +14,7 @@ class ThreadPool;
 namespace pimnw::core {
 
 class StatsCollector;
+class PimKernel;
 
 /// Which DPU kernel build to model (paper §5.5 / Table 7): the pure-C kernel
 /// or the one with the 26 hand-written assembly lines (cmpb4 4-byte SIMD
@@ -71,12 +72,21 @@ struct AlignConfig {
   std::int64_t band_width = 128;
   /// Whether to produce CIGARs (§5.3 runs score-only; §5.2/§5.4 need them).
   bool traceback = true;
+  /// WFA kernel only: abort a pair once its alignment cost exceeds this
+  /// bound (kStatusUnreachable, exactly like a band miss under NW). The
+  /// wavefront memory and work grow with the cost, so the cap is also what
+  /// sizes the kernel's per-pool MRAM scratch. Ignored by the NW kernel.
+  std::uint64_t wfa_max_cost = 500;
 };
 
 /// Full PiM aligner configuration.
 struct PimAlignerConfig {
   int nr_ranks = upmem::kDefaultRanks;
   PoolConfig pool;
+  /// Which algorithm the DPUs run (core/pim_kernel.hpp); nullptr means the
+  /// banded-NW kernel, so existing configs are untouched by the kernel
+  /// abstraction.
+  const PimKernel* kernel = nullptr;
   KernelVariant variant = KernelVariant::kAsm;
   /// Host execution path of the simulated kernel (never changes results or
   /// modeled time; see SimPath).

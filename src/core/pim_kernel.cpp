@@ -1,0 +1,20 @@
+#include "core/pim_kernel.hpp"
+
+#include <array>
+
+namespace pimnw::core {
+
+std::span<const PimKernel* const> registered_kernels() {
+  static const std::array<const PimKernel*, 2> kKernels = {&nw_kernel(),
+                                                          &wfa_kernel()};
+  return kKernels;
+}
+
+const PimKernel* find_kernel(std::string_view name) {
+  for (const PimKernel* kernel : registered_kernels()) {
+    if (name == kernel->name()) return kernel;
+  }
+  return nullptr;
+}
+
+}  // namespace pimnw::core

@@ -97,6 +97,18 @@ DbSession::DbSession(std::span<const std::string> db,
     lengths_.push_back(static_cast<std::uint32_t>(s.size()));
   }
 
+  // Worst-case per-pool scratch for any pair of this database: evaluate the
+  // kernel at the longest length on both sides (pair_scratch_bytes is
+  // monotone in each argument by contract, so no index pair — including a
+  // self-pair — can need more). 0 for score-only NW.
+  const PimKernel& kernel = kernel_for(config_);
+  PIMNW_CHECK_MSG(kernel.supports_session(),
+                  "kernel '" << kernel.name()
+                             << "' does not support session rounds");
+  const std::uint32_t longest =
+      *std::max_element(lengths_.begin(), lengths_.end());
+  scratch_stride_ = kernel.pair_scratch_bytes(longest, longest, config_.align);
+
   // Pack once, broadcast once; both charged to the session's timeline.
   PIMNW_TRACE_SPAN(std::string("encode session db"));
   std::vector<std::string_view> views(db_.begin(), db_.end());
@@ -141,8 +153,9 @@ RunReport DbSession::run_rounds(
       for (const WorkItem& item : bin) {
         emit(item, plan);
       }
-      finalize_session_plan(plan, config_.align, kBroadcastPoolOffset,
-                            nr_seqs);
+      finalize_session_plan(plan, kernel_for(config_), config_.align,
+                            config_.pool, kBroadcastPoolOffset, nr_seqs,
+                            scratch_stride_);
     }
     prepared.imbalance = assignment.imbalance();
     for (std::uint64_t load : assignment.bin_load) {

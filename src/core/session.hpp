@@ -186,6 +186,11 @@ class DbSession {
   std::vector<std::uint8_t> db_image_;
   std::unique_ptr<ExecEngine> engine_;
   std::size_t last_released_ = 0;
+  /// Per-pool MRAM scratch stride for any round of this session: the
+  /// kernel's pair_scratch_bytes at the two longest database lengths
+  /// (valid for every pair by the interface's monotonicity contract).
+  /// 0 for score-only NW, so NW session images are byte-identical.
+  std::uint64_t scratch_stride_ = 0;
 };
 
 }  // namespace pimnw::core

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <ctime>
+#include <thread>
 
 #ifndef PIMNW_GIT_SHA
 #define PIMNW_GIT_SHA "unknown"
@@ -45,6 +46,15 @@ std::string provenance_json(const std::string& params_json,
     out += ", \"machine\": ";
     out += machine_json;
   }
+  out += " }";
+  return out;
+}
+
+std::string machine_json(std::size_t threads) {
+  std::string out = "{ \"threads\": ";
+  out += std::to_string(threads);
+  out += ", \"hardware_threads\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
   out += " }";
   return out;
 }

@@ -8,6 +8,7 @@
 // comparing, so stamps never trip the regression gate.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace pimnw {
@@ -31,5 +32,12 @@ std::string timestamp_utc();
 /// not gate a cross-machine bench diff; when empty the field is omitted.
 std::string provenance_json(const std::string& params_json = std::string(),
                             const std::string& machine_json = std::string());
+
+/// The standard machine block for provenance_json's `machine_json` argument:
+///   { "threads": N, "hardware_threads": M }
+/// where `threads` is the worker-pool size the report's sections really ran
+/// with and M is std::thread::hardware_concurrency(). bench_diff.py skips
+/// "machine" subtrees wherever they appear.
+std::string machine_json(std::size_t threads);
 
 }  // namespace pimnw

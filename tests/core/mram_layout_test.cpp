@@ -77,7 +77,7 @@ class MramImageTest : public ::testing::Test {
 TEST_F(MramImageTest, HeaderRoundTrips) {
   align_config_.band_width = 64;
   const MramImage image =
-      build_mram_image(batch_, pool_, align_config_, pool_config_);
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_, pool_config_);
   const BatchHeader header = header_of(image);
   EXPECT_EQ(header.magic, kBatchMagic);
   EXPECT_EQ(header.nr_seqs, 3u);
@@ -90,7 +90,7 @@ TEST_F(MramImageTest, HeaderRoundTrips) {
 
 TEST_F(MramImageTest, RegionsAreOrderedAndAligned) {
   const MramImage image =
-      build_mram_image(batch_, pool_, align_config_, pool_config_);
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_, pool_config_);
   const BatchHeader header = header_of(image);
   EXPECT_LT(header.seq_table_off, header.pair_table_off);
   EXPECT_LT(header.pair_table_off, header.result_off);
@@ -108,7 +108,7 @@ TEST_F(MramImageTest, RegionsAreOrderedAndAligned) {
 
 TEST_F(MramImageTest, SequenceBytesEmbeddedInPerDpuMode) {
   const MramImage image =
-      build_mram_image(batch_, pool_, align_config_, pool_config_);
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_, pool_config_);
   const BatchHeader header = header_of(image);
   SeqEntry entry;
   std::memcpy(&entry, image.bytes.data() + header.seq_table_off,
@@ -121,9 +121,10 @@ TEST_F(MramImageTest, SequenceBytesEmbeddedInPerDpuMode) {
 
 TEST_F(MramImageTest, BroadcastModeOmitsSequencesAndPointsAtPool) {
   const MramImage local =
-      build_mram_image(batch_, pool_, align_config_, pool_config_);
-  const MramImage remote = build_mram_image(
-      batch_, pool_, align_config_, pool_config_, kBroadcastPoolOffset);
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_, pool_config_);
+  const MramImage remote =
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_,
+                       pool_config_, kBroadcastPoolOffset);
   EXPECT_LT(remote.bytes.size(), local.bytes.size());
   const BatchHeader header = header_of(remote);
   SeqEntry entry;
@@ -135,7 +136,7 @@ TEST_F(MramImageTest, BroadcastModeOmitsSequencesAndPointsAtPool) {
 TEST_F(MramImageTest, ScoreOnlyModeHasNoCigarNorScratch) {
   align_config_.traceback = false;
   const MramImage image =
-      build_mram_image(batch_, pool_, align_config_, pool_config_);
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_, pool_config_);
   const BatchHeader header = header_of(image);
   EXPECT_EQ(header.flags & kFlagTraceback, 0u);
   EXPECT_EQ(header.bt_scratch_stride, 0u);
@@ -146,7 +147,7 @@ TEST_F(MramImageTest, ScoreOnlyModeHasNoCigarNorScratch) {
 
 TEST_F(MramImageTest, PairEntriesCarryGlobalIdsAndCigarSlots) {
   const MramImage image =
-      build_mram_image(batch_, pool_, align_config_, pool_config_);
+      build_mram_image(batch_, pool_, nw_kernel(), align_config_, pool_config_);
   const BatchHeader header = header_of(image);
   for (std::size_t p = 0; p < batch_.pairs.size(); ++p) {
     PairEntry entry;
@@ -172,16 +173,17 @@ TEST_F(MramImageTest, OversizedBatchRejected) {
   // the broadcast collision path instead.
   DpuBatchInput batch;
   batch.pairs = {{0, 0, 0}};
-  EXPECT_THROW(build_mram_image(batch, tiny, align_config_, pool_config_,
-                                /*pool_mram_offset=*/16),
+  EXPECT_THROW(build_mram_image(batch, tiny, nw_kernel(), align_config_,
+                                pool_config_, /*pool_mram_offset=*/16),
                CheckError);
 }
 
 TEST_F(MramImageTest, InvalidSeqIndexRejected) {
   DpuBatchInput batch;
   batch.pairs = {{0, 9, 0}};
-  EXPECT_THROW(build_mram_image(batch, pool_, align_config_, pool_config_),
-               CheckError);
+  EXPECT_THROW(
+      build_mram_image(batch, pool_, nw_kernel(), align_config_, pool_config_),
+      CheckError);
 }
 
 
@@ -203,9 +205,9 @@ TEST_F(MramImageTest, SinglePairFootprintHelperMatchesBuild) {
       DpuBatchInput batch;
       batch.pairs = {{0, 1, 0}};
       const MramImage image =
-          build_mram_image(batch, pool, config, pool_config_);
-      EXPECT_EQ(single_pair_image_bytes(a.size(), b.size(), config,
-                                        pool_config_),
+          build_mram_image(batch, pool, nw_kernel(), config, pool_config_);
+      EXPECT_EQ(single_pair_image_bytes(a.size(), b.size(), nw_kernel(),
+                                        config, pool_config_),
                 image.total_bytes)
           << "len_a=" << a.size() << " len_b=" << b.size()
           << " traceback=" << traceback;

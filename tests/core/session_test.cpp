@@ -352,21 +352,26 @@ TEST(SessionLayout, RoundImageValidation) {
   DpuBatchInput batch;
   batch.pairs.push_back({0, 1, 0});
   AlignConfig config;
+  PoolConfig pools;
   config.traceback = true;
-  EXPECT_THROW(build_session_round_image(batch, config, kBroadcastPoolOffset,
-                                         static_cast<std::uint32_t>(db.size())),
+  EXPECT_THROW(build_session_round_image(batch, nw_kernel(), config, pools,
+                                         kBroadcastPoolOffset,
+                                         static_cast<std::uint32_t>(db.size()),
+                                         /*scratch_stride=*/0),
                CheckError);
   config.traceback = false;
   const MramImage round = build_session_round_image(
-      batch, config, kBroadcastPoolOffset,
-      static_cast<std::uint32_t>(db.size()));
+      batch, nw_kernel(), config, pools, kBroadcastPoolOffset,
+      static_cast<std::uint32_t>(db.size()), /*scratch_stride=*/0);
   EXPECT_EQ(round.readback_bytes, sizeof(SessionResult));
   EXPECT_LE(round.total_bytes, kBroadcastPoolOffset);
 
   DpuBatchInput bad;
   bad.pairs.push_back({0, 9, 0});  // seq_b outside the database
-  EXPECT_THROW(build_session_round_image(bad, config, kBroadcastPoolOffset,
-                                         static_cast<std::uint32_t>(db.size())),
+  EXPECT_THROW(build_session_round_image(bad, nw_kernel(), config, pools,
+                                         kBroadcastPoolOffset,
+                                         static_cast<std::uint32_t>(db.size()),
+                                         /*scratch_stride=*/0),
                CheckError);
 }
 

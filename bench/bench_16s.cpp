@@ -14,6 +14,11 @@
 // bit-identical scores. --paper-scale runs the session sweep at the paper's
 // 9557 sequences (~45.7M alignments) — hours of simulation, so it is off by
 // default and replaces the cross-checked comparison run.
+//
+// The comparison run also records a "session_wfa" leg — the same resident
+// database driven through the PiM-WFA kernel (DESIGN.md §16) — so
+// BENCH_16s.json carries a gated all-vs-all baseline for both kernels.
+// --kernel wfa switches the primary modes themselves onto the WFA kernel.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -22,6 +27,7 @@
 #include "common/bench_common.hpp"
 #include "core/host.hpp"
 #include "core/load_balance.hpp"
+#include "core/pim_kernel.hpp"
 #include "core/session.hpp"
 #include "core/stats.hpp"
 #include "data/phylo16s.hpp"
@@ -80,6 +86,8 @@ int main(int argc, char** argv) {
   cli.flag("ranks", std::int64_t{2}, "modeled DPU ranks");
   cli.flag("top-k", std::int64_t{64},
            "hits kept by the tiled all-vs-all streaming reduction");
+  cli.flag("kernel", std::string("nw"),
+           "DPU kernel for the primary modes: nw | wfa");
   cli.flag("paper-scale", false,
            "run the session sweep at the paper's 9557 sequences (~45.7M "
            "alignments; hours of simulation, session mode only)");
@@ -99,9 +107,17 @@ int main(int argc, char** argv) {
   const std::uint64_t pair_count =
       static_cast<std::uint64_t>(n) * (n - 1) / 2;
 
+  const std::string kernel_name = cli.get_string("kernel");
+  if (kernel_name != "nw" && kernel_name != "wfa") {
+    std::fprintf(stderr, "unknown --kernel value '%s' (nw | wfa)\n",
+                 kernel_name.c_str());
+    return 1;
+  }
+
   core::PimAlignerConfig config;
   config.nr_ranks = static_cast<int>(cli.get_int("ranks"));
   config.align.traceback = false;  // score-only, like the paper's Table 5
+  if (kernel_name == "wfa") config.kernel = &core::wfa_kernel();
 
   double banded_cells = 0.0;
   std::vector<core::IndexPair> index_pairs;
@@ -128,6 +144,8 @@ int main(int argc, char** argv) {
 
   ModeResult redispatch;
   ModeResult session_mode;
+  ModeResult wfa_mode;
+  bool ran_wfa_leg = false;
   bool scores_identical = true;
   core::ScoreFilter filter;
   filter.top_k = static_cast<std::size_t>(cli.get_int("top-k"));
@@ -176,6 +194,19 @@ int main(int argc, char** argv) {
       topk_kept = sweep.hits.size();
       topk_best = sweep.hits.empty() ? 0 : sweep.hits.front().score;
     }
+    // ---- Mode C: the same resident database through the PiM-WFA kernel
+    // (skipped when --kernel wfa already made it the primary session).
+    // GCUPS uses the banded-NW cell count as the common work denominator, so
+    // the two session legs are directly comparable.
+    if (kernel_name == "nw") {
+      core::PimAlignerConfig wfa_config = config;
+      wfa_config.kernel = &core::wfa_kernel();
+      core::DbSession session(seqs, wfa_config);
+      std::vector<core::PairOutput> wfa_out;
+      wfa_mode = {session.align_pairs(index_pairs, &wfa_out), pair_count,
+                  banded_cells};
+      ran_wfa_leg = true;
+    }
   }
 
   const bool compared = !cli.get_bool("paper-scale");
@@ -199,6 +230,11 @@ int main(int argc, char** argv) {
         session_mode.marginal_bytes_per_alignment(),
         static_cast<unsigned long long>(session_mode.report.bytes_broadcast),
         bytes_ratio, speedup, scores_identical ? "identical" : "DIFFER");
+    if (ran_wfa_leg) {
+      std::printf("session-wfa: %.3e s/aln, %.1f B/aln marginal\n",
+                  wfa_mode.seconds_per_alignment(),
+                  wfa_mode.marginal_bytes_per_alignment());
+    }
   } else {
     std::printf("paper-scale session sweep: %.3e s/aln, %.1f B/aln marginal\n",
                 session_mode.seconds_per_alignment(),
@@ -225,6 +261,10 @@ int main(int argc, char** argv) {
   }
   write_mode(out, "session", session_mode);
   out << ",\n";
+  if (ran_wfa_leg) {
+    write_mode(out, "session_wfa", wfa_mode);
+    out << ",\n";
+  }
   out << "  \"topk\": { \"k\": " << filter.top_k
       << ", \"kept\": " << topk_kept << ", \"best_score\": " << topk_best
       << " },\n";

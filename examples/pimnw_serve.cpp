@@ -35,6 +35,9 @@
 #include "core/service.hpp"
 #include "data/synthetic.hpp"
 #include "util/cli.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/metrics.hpp"
+#include "util/metrics_http.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -88,7 +91,22 @@ int main(int argc, char** argv) {
            "service metrics output path");
   cli.flag("trace-out", std::string(""),
            "Chrome/Perfetto trace output path (empty = no trace)");
+  cli.flag("metrics-port", std::int64_t{-1},
+           "serve Prometheus /metrics + /healthz on 127.0.0.1:<port> "
+           "(0 = ephemeral, printed at startup; -1 = off)");
+  cli.flag("metrics-out", std::string(""),
+           "write a final Prometheus text snapshot to this file (also the "
+           "fallback when --metrics-port cannot bind)");
+  cli.flag("no-telemetry", false,
+           "disable the metrics registry (results are bit-identical either "
+           "way; this only skips the recording)");
+  cli.flag("storm-dump", std::string(""),
+           "flight-recorder black box path for deadline storms");
+  cli.flag("storm-threshold", std::int64_t{32},
+           "deadline expiries in one sweep that trigger --storm-dump");
   cli.parse(argc, argv);
+
+  if (cli.get_bool("no-telemetry")) metrics::set_enabled(false);
 
   auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   if (threads == 0) {
@@ -144,6 +162,23 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("max-queue-pairs"));
   service_config.max_backlog_seconds = cli.get_double("max-backlog-ms") * 1e-3;
   service_config.block_when_full = cli.get_bool("block-when-full");
+  if (!cli.get_string("storm-dump").empty()) {
+    service_config.storm_dump_path = cli.get_string("storm-dump");
+    service_config.storm_dump_threshold =
+        static_cast<std::size_t>(cli.get_int("storm-threshold"));
+  }
+
+  // Live scrape endpoint. Port 0 binds an ephemeral port, printed (and
+  // flushed) before the load starts so a harness can parse it. When the
+  // bind fails, --metrics-out still gets a file snapshot at the end.
+  metrics::MetricsHttpServer metrics_server;
+  const std::int64_t metrics_port = cli.get_int("metrics-port");
+  if (metrics_port >= 0) {
+    if (metrics_server.start(static_cast<int>(metrics_port))) {
+      std::printf("metrics listening on port %d\n", metrics_server.port());
+      std::fflush(stdout);
+    }
+  }
 
   const bool tracing = !cli.get_string("trace-out").empty();
   if (tracing) {
@@ -213,5 +248,11 @@ int main(int argc, char** argv) {
     std::printf("wrote %s — open it in https://ui.perfetto.dev\n",
                 cli.get_string("trace-out").c_str());
   }
+  const std::string metrics_out = cli.get_string("metrics-out");
+  if (!metrics_out.empty() &&
+      metrics::MetricsRegistry::global().write_file(metrics_out)) {
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  metrics_server.stop();
   return 0;
 }

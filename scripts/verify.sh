@@ -31,6 +31,14 @@
 # concurrency-dense layer in the tree. The default preset also smoke-runs
 # the pimnw_serve example.
 #
+# Each preset also runs the "metrics" ctest label (production telemetry,
+# DESIGN.md §17): registry bucket arithmetic and merge associativity,
+# exposition purity, the scrape-while-recording hammer (tsan's reason to
+# care), the flight recorder's armed black box, and telemetry-on/off
+# bit-identity of modeled results. The default preset also smoke-runs
+# pimnw_serve --metrics-port 0 and curls /metrics + /healthz, checking the
+# instrumented families are actually exposed under load.
+#
 # A --tidy flag adds a clang-tidy pass (the .clang-tidy profile) over the
 # core orchestration and simulator sources; it is skipped with a notice when
 # clang-tidy is not installed, so the stage is safe to request everywhere.
@@ -101,12 +109,59 @@ for preset in "${PRESETS[@]}"; do
   ctest --test-dir "$BUILD_DIR" -L serve -j "$JOBS" --output-on-failure
   echo "=== [$preset] ctest -L wfa_kernel"
   ctest --test-dir "$BUILD_DIR" -L wfa_kernel -j "$JOBS" --output-on-failure
+  echo "=== [$preset] ctest -L metrics"
+  ctest --test-dir "$BUILD_DIR" -L metrics -j "$JOBS" --output-on-failure
   if [ "$preset" = default ]; then
     echo "=== [$preset] pimnw_prof smoke"
     "$BUILD_DIR/examples/pimnw_prof" --pairs 96 --length 300 >/dev/null
     echo "=== [$preset] pimnw_serve smoke"
     "$BUILD_DIR/examples/pimnw_serve" --pairs 128 --length 200 --clients 2 \
         --json-out "$BUILD_DIR/serve_metrics.json" >/dev/null
+    echo "=== [$preset] pimnw_serve /metrics scrape smoke"
+    SERVE_LOG="$BUILD_DIR/serve_scrape_smoke.log"
+    "$BUILD_DIR/examples/pimnw_serve" --pairs 4096 --length 300 --clients 2 \
+        --metrics-port 0 \
+        --json-out "$BUILD_DIR/serve_scrape_smoke.json" > "$SERVE_LOG" &
+    SERVE_PID=$!
+    # The ephemeral port is printed (and flushed) before the load starts.
+    SERVE_PORT=""
+    for _ in $(seq 1 100); do
+      SERVE_PORT=$(sed -n 's/^metrics listening on port \([0-9]*\)$/\1/p' \
+          "$SERVE_LOG")
+      [ -n "$SERVE_PORT" ] && break
+      sleep 0.1
+    done
+    if [ -z "$SERVE_PORT" ]; then
+      echo "pimnw_serve never reported a metrics port"; kill "$SERVE_PID"
+      exit 1
+    fi
+    curl -sf "http://127.0.0.1:$SERVE_PORT/healthz" | grep -q ok
+    # Scrape until every instrumented family has registered (the first flush
+    # through the PiM backend registers the engine/pool/MRAM series).
+    SCRAPE_OK=0
+    for _ in $(seq 1 60); do
+      SCRAPE=$(curl -sf "http://127.0.0.1:$SERVE_PORT/metrics" || true)
+      MISSING=0
+      for family in pimnw_service_queue_depth \
+          pimnw_service_admitted_pairs_total \
+          pimnw_service_total_latency_seconds \
+          pimnw_service_slo_burn_rate \
+          pimnw_dispatch_routed_pairs_total \
+          pimnw_engine_launches_total \
+          pimnw_pool_tasks_executed_total \
+          pimnw_mram_chunks_live; do
+        echo "$SCRAPE" | grep -q "^# TYPE $family " || { MISSING=1; break; }
+      done
+      if [ "$MISSING" -eq 0 ]; then SCRAPE_OK=1; break; fi
+      kill -0 "$SERVE_PID" 2>/dev/null || break
+      sleep 0.2
+    done
+    if [ "$SCRAPE_OK" -ne 1 ]; then
+      echo "live /metrics scrape is missing instrumented families"
+      kill "$SERVE_PID" 2>/dev/null || true
+      exit 1
+    fi
+    wait "$SERVE_PID"
     echo "=== [$preset] parallel-sweep bit-identity smoke (threads 2 vs 1)"
     cmake --build --preset default -j "$JOBS" --target host_throughput \
         >/dev/null

@@ -1,6 +1,7 @@
 #include "core/dispatch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -10,10 +11,57 @@
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
 
 namespace pimnw::core {
+
+namespace {
+
+/// Routed-pair counters per backend kind, created lazily per kind (the label
+/// set is the backend name). Registry handles are stable, so caching raw
+/// pointers in a static array is safe.
+metrics::Counter& routed_counter(BackendKind kind) {
+  // Atomic slots: several dispatchers may run align() on different threads;
+  // racing initialisers both store the same registry handle.
+  static std::atomic<metrics::Counter*> counters[kBackendKinds] = {};
+  auto& slot = counters[static_cast<std::size_t>(kind)];
+  metrics::Counter* c = slot.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    c = &metrics::MetricsRegistry::global().counter(
+        "pimnw_dispatch_routed_pairs_total",
+        "Pairs routed to each backend by the dispatch policy",
+        {{"backend", backend_kind_name(kind)}});
+    slot.store(c, std::memory_order_release);
+  }
+  return *c;
+}
+
+/// Calibration drift: per-align-call actual/predicted seconds per backend.
+/// Predicted is the sum of the backend's own estimate_seconds over the pairs
+/// routed to it; actual is the modeled makespan for modeled backends and the
+/// measured wall-clock for host backends. A drifting ratio means the cost
+/// policy is routing on stale calibration.
+metrics::Histogram& estimate_error_histogram(BackendKind kind) {
+  static std::atomic<metrics::Histogram*> histograms[kBackendKinds] = {};
+  auto& slot = histograms[static_cast<std::size_t>(kind)];
+  metrics::Histogram* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    metrics::HistogramOptions options;
+    options.min_bound = 1.0 / 1024.0;  // ratios: 2^-10 .. 2^10
+    options.growth = 2.0;
+    options.bucket_count = 21;
+    h = &metrics::MetricsRegistry::global().histogram(
+        "pimnw_dispatch_estimate_error_ratio",
+        "Actual/predicted seconds per backend per align() call",
+        {{"backend", backend_kind_name(kind)}}, options);
+    slot.store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
+}  // namespace
 
 const char* route_policy_name(RoutePolicy policy) {
   switch (policy) {
@@ -224,10 +272,18 @@ DispatchReport Dispatcher::align(std::span<const PairInput> pairs,
   // this thread while the workers chew the other backends' pairs, which is
   // the heterogeneous overlap this layer exists for.
   std::vector<std::optional<AlignerBackend::Ticket>> ticket(backends_.size());
+  std::vector<double> predicted(backends_.size(), 0.0);
   for (std::size_t b = 0; b < backends_.size(); ++b) {
     if (bucket[b].empty()) continue;
     PIMNW_TRACE_SPAN(std::string("submit ") +
                      backend_kind_name(backends_[b]->kind()));
+    if (metrics::enabled()) {
+      routed_counter(backends_[b]->kind()).add(bucket[b].size());
+      for (const PairInput& pair : bucket[b]) {
+        predicted[b] +=
+            backends_[b]->estimate_seconds(pair.a.size(), pair.b.size());
+      }
+    }
     ticket[b] = backends_[b]->submit(bucket[b]);
     report.routed[static_cast<std::size_t>(backends_[b]->kind())] +=
         bucket[b].size();
@@ -261,6 +317,22 @@ DispatchReport Dispatcher::align(std::span<const PairInput> pairs,
   }
   for (AlignerBackend* b : backends_) {
     report.backends.push_back(b->drain());
+  }
+  if (metrics::enabled()) {
+    // Calibration drift: actual/predicted per backend for this call. Modeled
+    // backends are judged on modeled seconds (that is what the estimator
+    // predicts); host backends on measured wall-clock.
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      if (bucket[b].empty() || predicted[b] <= 0.0) continue;
+      const BackendReport& br = report.backends[b];
+      const double actual = backends_[b]->capabilities().modeled_time
+                                ? br.modeled_seconds
+                                : br.measured_seconds;
+      if (actual > 0.0) {
+        estimate_error_histogram(backends_[b]->kind())
+            .record(actual / predicted[b]);
+      }
+    }
   }
   report.wall_seconds = watch.seconds();
   return report;

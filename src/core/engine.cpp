@@ -6,10 +6,40 @@
 
 #include "align/result.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace pimnw::core {
+
+namespace {
+
+// Host<->DPU transfer volume and pipeline occupancy (DESIGN.md §17). Charged
+// at the per-commit accumulation sites, never from finish() totals — finish()
+// can run once per flush and would double-count. Pure observers.
+struct EngineSeries {
+  metrics::Counter& bytes_to_dpus;
+  metrics::Counter& bytes_from_dpus;
+  metrics::Counter& dpu_dma_bytes;
+  metrics::Gauge& slots_in_flight;
+};
+
+EngineSeries& engine_series() {
+  auto& reg = metrics::MetricsRegistry::global();
+  static EngineSeries series{
+      reg.counter("pimnw_engine_bytes_to_dpus_total",
+                  "Host->DPU bytes (batch images + broadcasts)"),
+      reg.counter("pimnw_engine_bytes_from_dpus_total",
+                  "DPU->host readback bytes"),
+      reg.counter("pimnw_engine_dpu_dma_bytes_total",
+                  "Modeled MRAM<->WRAM DMA bytes inside the DPUs"),
+      reg.gauge("pimnw_engine_slots_in_flight",
+                "Pipelined batch slots scheduled but not yet committed"),
+  };
+  return series;
+}
+
+}  // namespace
 
 void finalize_plan(DpuPlan& plan, const SeqInterner& interner,
                    const PimAlignerConfig& config,
@@ -209,6 +239,9 @@ void ExecEngine::set_broadcast(std::span<const std::uint8_t> bytes,
   report_.bytes_to_dpus += stats.bytes;
   report_.bytes_broadcast += stats.bytes;
   report_.transfer_seconds += stats.seconds;
+  if (metrics::enabled()) {
+    engine_series().bytes_to_dpus.add(stats.bytes);
+  }
   for (double& t : rank_free_) t = std::max(t, stats.seconds);
   makespan_ = std::max(makespan_, stats.seconds);
   stats_->on_broadcast(stats.seconds, stats.bytes, config_.nr_ranks);
@@ -289,6 +322,10 @@ void ExecEngine::run(std::size_t n_batches,
       for (std::size_t i = b + 1; i < scheduled; ++i) {
         wait_for(*slots_[i % window]);
       }
+      // Slots b..scheduled-1 will never commit; settle the occupancy gauge
+      // so an aborted run does not leave it pinned high.
+      engine_series().slots_in_flight.add(
+          -static_cast<double>(scheduled - b));
       std::rethrow_exception(error);
     }
     commit(slot, out);
@@ -299,6 +336,7 @@ void ExecEngine::schedule(
     Slot& slot, std::size_t index,
     const std::function<PreparedBatch(std::size_t)>& build,
     std::vector<PairOutput>* out) {
+  engine_series().slots_in_flight.add(1.0);
   slot.prepared = PreparedBatch{};
   slot.ran.fill(false);
   slot.index = index;
@@ -484,6 +522,13 @@ void ExecEngine::commit(Slot& slot, std::vector<PairOutput>* out) {
   rank_free_[static_cast<std::size_t>(r)] = end;
   rank_exec_[static_cast<std::size_t>(r)] += launch_stats.seconds;
   makespan_ = std::max(makespan_, end);
+  if (metrics::enabled()) {
+    EngineSeries& series = engine_series();
+    series.bytes_to_dpus.add(in_stats.bytes);
+    series.bytes_from_dpus.add(out_stats.bytes);
+    series.dpu_dma_bytes.add(launch_stats.total_dma_bytes);
+  }
+  engine_series().slots_in_flight.add(-1.0);
   stats_->add_cells(slot.prepared.total_workload);
   stats_->on_launch(report_.batches, r, start, in_stats.seconds,
                     host_cost_.per_launch_seconds, out_stats.seconds,
@@ -593,6 +638,12 @@ void ExecEngine::legacy_run_batch(PreparedBatch& prepared,
       upmem::PimSystem::host_transfer_seconds(out_stats.bytes);
   report_.bytes_from_dpus += out_stats.bytes;
   report_.transfer_seconds += out_stats.seconds;
+  if (metrics::enabled()) {
+    EngineSeries& series = engine_series();
+    series.bytes_to_dpus.add(in_stats.bytes);
+    series.bytes_from_dpus.add(out_stats.bytes);
+    series.dpu_dma_bytes.add(launch_stats.total_dma_bytes);
+  }
 
   const double start =
       std::max(prep_clock_, rank_free_[static_cast<std::size_t>(r)]);

@@ -129,10 +129,13 @@ RunReport PimAligner::align_pairs(std::span<const PairInput> pairs,
                                 config_.align, config_.pool) >
             upmem::kMramBytes) {
       ++rejected;
-      PIMNW_WARN("rejecting oversized pair: pair=" << p << " len_a="
-                                                   << pairs[p].a.size()
-                                                   << " len_b="
-                                                   << pairs[p].b.size());
+      // Rate-limited: a service run fed a bad workload can reject thousands
+      // of pairs per second, and one WARN each would drown the log.
+      PIMNW_WARN_RATELIMITED(
+          /*rate_per_second=*/5.0, /*burst=*/10.0,
+          "rejecting oversized pair: pair=" << p << " len_a="
+                                            << pairs[p].a.size() << " len_b="
+                                            << pairs[p].b.size());
       if (out != nullptr) {
         (*out)[p].status = PairStatus::kOversized;
       }

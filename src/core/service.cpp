@@ -9,11 +9,76 @@
 
 #include "upmem/arch.hpp"
 #include "util/check.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/logging.hpp"
 #include "util/trace.hpp"
 
 namespace pimnw::core {
 
 namespace {
+
+// Prometheus series for the service front door (DESIGN.md §17). Created on
+// first use; the handles are stable for the process lifetime. All pure
+// observers — none of these values feeds admission or dispatch decisions
+// (backpressure reads its own atomics, as before).
+struct ServiceSeries {
+  metrics::Gauge& queue_depth;
+  metrics::Gauge& backlog_seconds;
+  metrics::Counter& admitted_full;
+  metrics::Counter& admitted_linger;
+  metrics::Counter& admitted_drain;
+  metrics::Counter& rejected_queue_full;
+  metrics::Counter& rejected_deadline;
+  metrics::Counter& rejected_shutdown;
+  metrics::Counter& rejected_oversized;
+  metrics::Histogram& queue_wait_seconds;
+  metrics::Histogram& total_latency_seconds;
+  metrics::Gauge& burn_short;
+  metrics::Gauge& burn_long;
+};
+
+ServiceSeries& service_series() {
+  auto& reg = metrics::MetricsRegistry::global();
+  static ServiceSeries series{
+      reg.gauge("pimnw_service_queue_depth",
+                "Pairs admitted but not yet completed"),
+      reg.gauge("pimnw_service_backlog_seconds",
+                "Modeled backlog: sum of min_estimate_seconds over queued "
+                "pairs"),
+      reg.counter("pimnw_service_admitted_pairs_total",
+                  "Pairs dispatched, by the flush kind that carried them",
+                  {{"flush", "full"}}),
+      reg.counter("pimnw_service_admitted_pairs_total",
+                  "Pairs dispatched, by the flush kind that carried them",
+                  {{"flush", "linger"}}),
+      reg.counter("pimnw_service_admitted_pairs_total",
+                  "Pairs dispatched, by the flush kind that carried them",
+                  {{"flush", "drain"}}),
+      reg.counter("pimnw_service_rejected_total",
+                  "Requests resolved without a successful alignment",
+                  {{"reason", "queue_full"}}),
+      reg.counter("pimnw_service_rejected_total",
+                  "Requests resolved without a successful alignment",
+                  {{"reason", "deadline"}}),
+      reg.counter("pimnw_service_rejected_total",
+                  "Requests resolved without a successful alignment",
+                  {{"reason", "shutdown"}}),
+      reg.counter("pimnw_service_rejected_total",
+                  "Requests resolved without a successful alignment",
+                  {{"reason", "oversized"}}),
+      reg.histogram("pimnw_service_queue_wait_seconds",
+                    "submit() -> carrying flush"),
+      reg.histogram("pimnw_service_total_latency_seconds",
+                    "submit() -> result ready"),
+      reg.gauge("pimnw_service_slo_burn_rate",
+                "Deadline-miss burn rate: miss_ratio / (1 - objective)",
+                {{"window", "short"}}),
+      reg.gauge("pimnw_service_slo_burn_rate",
+                "Deadline-miss burn rate: miss_ratio / (1 - objective)",
+                {{"window", "long"}}),
+  };
+  return series;
+}
 
 const char* flush_kind_name(int kind) {
   switch (kind) {
@@ -122,6 +187,14 @@ AlignService::AlignService(Dispatcher* dispatcher, ServiceConfig config)
   }
   PIMNW_CHECK_MSG(config_.max_linger_seconds > 0,
                   "max_linger_seconds must be positive");
+  PIMNW_CHECK_MSG(config_.latency_sample_cap > 0,
+                  "latency_sample_cap must be positive");
+  PIMNW_CHECK_MSG(config_.slo_objective > 0 && config_.slo_objective < 1,
+                  "slo_objective must be in (0, 1)");
+  slo_short_ = std::make_unique<metrics::SloBurnWindow>(
+      config_.slo_short_window_seconds, config_.slo_objective);
+  slo_long_ = std::make_unique<metrics::SloBurnWindow>(
+      config_.slo_long_window_seconds, config_.slo_objective);
   coalescer_ = std::thread([this] { coalescer_main(); });
 }
 
@@ -142,6 +215,7 @@ std::future<ServiceResult> AlignService::submit(PairInput pair,
 
   if (stopping_.load(std::memory_order_seq_cst)) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) service_series().rejected_shutdown.add(1);
     return rejected_future(PairStatus::kShutdown);
   }
 
@@ -181,6 +255,7 @@ std::future<ServiceResult> AlignService::submit(PairInput pair,
   if (!try_admit(&depth, &backlog)) {
     if (!config_.block_when_full) {
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics::enabled()) service_series().rejected_queue_full.add(1);
       return rejected_future(PairStatus::kQueueFull);
     }
     // Closed-loop client: wait for capacity. flush() notifies space_cv_
@@ -191,6 +266,7 @@ std::future<ServiceResult> AlignService::submit(PairInput pair,
     for (;;) {
       if (stopping_.load(std::memory_order_seq_cst)) {
         rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics::enabled()) service_series().rejected_shutdown.add(1);
         return rejected_future(PairStatus::kShutdown);
       }
       if (try_admit(&depth, &backlog)) break;
@@ -199,6 +275,11 @@ std::future<ServiceResult> AlignService::submit(PairInput pair,
   }
   raise(max_queue_depth_, depth);
   raise(max_backlog_us_, backlog);
+  if (metrics::enabled()) {
+    ServiceSeries& series = service_series();
+    series.queue_depth.set(static_cast<double>(depth));
+    series.backlog_seconds.set(static_cast<double>(backlog) / 1e6);
+  }
 
   Request* request = new Request;
   request->pair = pair;
@@ -234,6 +315,35 @@ void AlignService::drain_incoming(std::vector<Request*>& pending) {
   for (Request* r = head; r != nullptr; r = r->next) pending.push_back(r);
   std::reverse(pending.begin() + static_cast<std::ptrdiff_t>(at),
                pending.end());
+}
+
+void AlignService::record_sample_locked(std::vector<double>& samples,
+                                        double value) {
+  if (samples.size() < config_.latency_sample_cap) {
+    samples.push_back(value);
+    return;
+  }
+  // Algorithm R: replace a random slot with probability cap/seen, keeping a
+  // uniform subsample of everything ever offered. latency_samples_seen_ was
+  // already incremented for this sample.
+  std::uniform_int_distribution<std::uint64_t> dist(
+      0, latency_samples_seen_ - 1);
+  const std::uint64_t slot = dist(sample_rng_);
+  if (slot < samples.size()) {
+    samples[static_cast<std::size_t>(slot)] = value;
+  }
+}
+
+void AlignService::record_slo(double now_seconds, bool good,
+                              std::size_t count) {
+  if (count == 0) return;
+  slo_short_->record(now_seconds, good, count);
+  slo_long_->record(now_seconds, good, count);
+  if (metrics::enabled()) {
+    ServiceSeries& series = service_series();
+    series.burn_short.set(slo_short_->burn_rate(now_seconds));
+    series.burn_long.set(slo_long_->burn_rate(now_seconds));
+  }
 }
 
 void AlignService::undo_admission(const Request& request) {
@@ -341,11 +451,51 @@ void AlignService::flush(std::vector<Request*>& batch, FlushKind kind) {
     modeled_seconds_ += modeled_seconds;
     if (config_.collect_latencies) {
       for (const ServiceResult& result : results) {
-        queue_wait_samples_.push_back(result.queue_seconds);
-        total_latency_samples_.push_back(result.total_seconds);
+        ++latency_samples_seen_;
+        record_sample_locked(queue_wait_samples_, result.queue_seconds);
+        record_sample_locked(total_latency_samples_, result.total_seconds);
       }
     }
   }
+
+  // Live telemetry for the flush (pure observers, outside metrics_mutex_).
+  if (metrics::enabled()) {
+    ServiceSeries& series = service_series();
+    switch (kind) {
+      case FlushKind::kFull:
+        series.admitted_full.add(batch.size());
+        break;
+      case FlushKind::kLinger:
+        series.admitted_linger.add(batch.size());
+        break;
+      case FlushKind::kDrain:
+        series.admitted_drain.add(batch.size());
+        break;
+    }
+    std::uint64_t oversized = 0;
+    for (const ServiceResult& result : results) {
+      series.queue_wait_seconds.record(result.queue_seconds);
+      series.total_latency_seconds.record(result.total_seconds);
+      if (!result.output.ok &&
+          result.output.status == PairStatus::kOversized) {
+        ++oversized;
+      }
+    }
+    if (oversized > 0) series.rejected_oversized.add(oversized);
+    series.queue_depth.set(
+        static_cast<double>(queued_pairs_.load(std::memory_order_relaxed)));
+    series.backlog_seconds.set(
+        static_cast<double>(backlog_us_.load(std::memory_order_relaxed)) /
+        1e6);
+  }
+  // Every dispatched request beat its deadline (expiries were filtered
+  // before the flush), so they all count as SLO-good at completion time.
+  record_slo(done_seconds, /*good=*/true, batch.size());
+  flight_record(FlightEventKind::kFlush,
+                "flush b" + std::to_string(id) + " kind=" +
+                    flush_kind_name(static_cast<int>(kind)) + " pairs=" +
+                    std::to_string(batch.size()) + " busy_ms=" +
+                    std::to_string(busy_seconds * 1e3));
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i]->promise.set_value(std::move(results[i]));
@@ -365,10 +515,12 @@ void AlignService::coalescer_main() {
     if (!pending.empty()) {
       const double now = clock_.seconds();
       std::size_t keep = 0;
+      std::size_t expired = 0;
       for (std::size_t i = 0; i < pending.size(); ++i) {
         Request* r = pending[i];
         if (r->deadline_seconds > 0 && now > r->deadline_seconds) {
           rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+          ++expired;
           resolve_undispatched(r, PairStatus::kDeadlineExceeded,
                                /*was_admitted=*/true);
         } else {
@@ -376,6 +528,30 @@ void AlignService::coalescer_main() {
         }
       }
       pending.resize(keep);
+      if (expired > 0) {
+        record_slo(now, /*good=*/false, expired);
+        if (metrics::enabled()) {
+          service_series().rejected_deadline.add(expired);
+        }
+        flight_record(FlightEventKind::kNote,
+                      "deadline sweep expired " + std::to_string(expired) +
+                          " of " + std::to_string(keep + expired) +
+                          " queued requests");
+        // Deadline storm: one sweep shedding a burst of requests is the
+        // overload signature worth a black box. Dump once per service.
+        if (config_.storm_dump_threshold > 0 &&
+            expired >= config_.storm_dump_threshold &&
+            !storm_dumped_.exchange(true, std::memory_order_relaxed) &&
+            !config_.storm_dump_path.empty()) {
+          if (FlightRecorder::global().dump_to_file(
+                  config_.storm_dump_path,
+                  "deadline_storm: " + std::to_string(expired) +
+                      " expiries in one sweep")) {
+            PIMNW_WARN("deadline storm: dumped flight recorder to "
+                       << config_.storm_dump_path);
+          }
+        }
+      }
     }
 
     if (pending.empty()) {
@@ -458,6 +634,7 @@ void AlignService::stop() {
   drain_incoming(leftovers);
   for (Request* r : leftovers) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) service_series().rejected_shutdown.add(1);
     resolve_undispatched(r, PairStatus::kShutdown, /*was_admitted=*/true);
   }
 }
@@ -488,6 +665,10 @@ ServiceMetrics AlignService::metrics() const {
   m.modeled_seconds = modeled_seconds_;
   m.queue_wait = summarize_latencies(queue_wait_samples_);
   m.total_latency = summarize_latencies(total_latency_samples_);
+  m.latency_samples_seen = latency_samples_seen_;
+  const double now = clock_.seconds();
+  m.slo_burn_short = slo_short_->burn_rate(now);
+  m.slo_burn_long = slo_long_->burn_rate(now);
   return m;
 }
 

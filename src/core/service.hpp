@@ -50,13 +50,16 @@
 #include <cstdint>
 #include <future>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/dispatch.hpp"
 #include "core/types.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace pimnw::core {
@@ -83,6 +86,25 @@ struct ServiceConfig {
   /// mutex acquisition per flush (not per request); disable only for
   /// submit-rate microbenchmarks.
   bool collect_latencies = true;
+  /// Cap on retained latency samples per series. Below the cap every sample
+  /// is kept and metrics() quantiles are exact (nearest-rank, as before);
+  /// past it, reservoir sampling (Algorithm R, deterministic seed) keeps a
+  /// uniform subsample so a week-long run holds bounded memory. The bounded
+  /// Prometheus histograms are unaffected — they see every sample.
+  std::size_t latency_sample_cap = 65536;
+  /// Deadline-miss SLO objective: the target fraction of admitted requests
+  /// that resolve without kDeadlineExceeded. Burn rate 1.0 = consuming the
+  /// error budget exactly as fast as the objective allows.
+  double slo_objective = 0.999;
+  /// Sliding windows for the burn-rate pair (short = paging signal, long =
+  /// ticket signal, the standard multi-window alert shape).
+  double slo_short_window_seconds = 60.0;
+  double slo_long_window_seconds = 600.0;
+  /// Deadline-storm black box: when one coalescer sweep expires at least
+  /// this many deadlines (0 = disabled), dump the flight recorder to
+  /// `storm_dump_path` (once per service lifetime).
+  std::size_t storm_dump_threshold = 0;
+  std::string storm_dump_path;
 };
 
 /// What a client's future resolves to: the alignment plus the request's own
@@ -143,6 +165,13 @@ struct ServiceMetrics {
   double modeled_seconds = 0.0;
   LatencyStats queue_wait;     // submit → flush
   LatencyStats total_latency;  // submit → resolve
+  /// Samples ever recorded per series (>= the retained count once the
+  /// latency_sample_cap reservoir engages).
+  std::uint64_t latency_samples_seen = 0;
+  /// Deadline-miss SLO burn rates over the configured short/long windows,
+  /// evaluated at snapshot time (0 when nothing was recorded in a window).
+  double slo_burn_short = 0.0;
+  double slo_burn_long = 0.0;
 };
 
 void write_service_json(std::ostream& out, const ServiceMetrics& metrics);
@@ -200,6 +229,11 @@ class AlignService {
   void resolve_undispatched(Request* request, PairStatus status,
                             bool was_admitted);
   void undo_admission(const Request& request);
+  /// Reservoir-bounded sample push (metrics_mutex_ must be held).
+  void record_sample_locked(std::vector<double>& samples, double value);
+  /// Record `count` deadline-SLO events into both burn windows and refresh
+  /// the exported burn gauges.
+  void record_slo(double now_seconds, bool good, std::size_t count = 1);
   /// Pop the whole incoming stack and append it to `pending` in arrival
   /// order.
   void drain_incoming(std::vector<Request*>& pending);
@@ -251,6 +285,18 @@ class AlignService {
   double modeled_seconds_ = 0.0;
   std::vector<double> queue_wait_samples_;
   std::vector<double> total_latency_samples_;
+  /// Samples ever offered to each reservoir (both series see every request,
+  /// so one counter serves both vectors).
+  std::uint64_t latency_samples_seen_ = 0;
+  /// Deterministic reservoir RNG: two services fed the same request sequence
+  /// retain the same subsample (metrics_mutex_-guarded like the vectors).
+  std::minstd_rand sample_rng_{20260809};
+
+  /// Deadline-miss burn windows (constructed from config in the ctor; the
+  /// internal mutexes make the class immovable, hence the indirection).
+  std::unique_ptr<metrics::SloBurnWindow> slo_short_;
+  std::unique_ptr<metrics::SloBurnWindow> slo_long_;
+  std::atomic<bool> storm_dumped_{false};
 
   std::uint64_t next_batch_id_ = 0;  // coalescer-only
   std::thread coalescer_;

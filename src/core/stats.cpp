@@ -7,6 +7,7 @@
 
 #include "core/host.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/provenance.hpp"
 #include "util/trace.hpp"
 
@@ -14,6 +15,35 @@ namespace pimnw::core {
 namespace {
 
 constexpr double kSecondsToUs = 1e6;
+
+// Prometheus series for the modeled device (DESIGN.md §17). Every engine run
+// feeds a StatsCollector (engine-owned when the caller attached none), so
+// this is the single choke point for launch-granular counters. Pure
+// observers: nothing here feeds back into the modeled arithmetic.
+struct LaunchSeries {
+  metrics::Counter& launches;
+  metrics::Counter& dpu_cycles;
+  metrics::Counter& active_dpus;
+  metrics::Counter& broadcasts;
+  metrics::Counter& broadcast_bytes;
+};
+
+LaunchSeries& launch_series() {
+  auto& reg = metrics::MetricsRegistry::global();
+  static LaunchSeries series{
+      reg.counter("pimnw_engine_launches_total",
+                  "Rank launches committed on the modeled device"),
+      reg.counter("pimnw_engine_dpu_cycles_total",
+                  "Modeled DPU cycles summed over all launched DPUs"),
+      reg.counter("pimnw_engine_active_dpus_total",
+                  "DPUs that ran at least one pair, summed over launches"),
+      reg.counter("pimnw_upmem_broadcasts_total",
+                  "Broadcast transfers to every bank"),
+      reg.counter("pimnw_upmem_broadcast_bytes_total",
+                  "Bytes moved by broadcast transfers"),
+  };
+  return series;
+}
 
 }  // namespace
 
@@ -79,6 +109,13 @@ void StatsCollector::on_launch(
     has_profile_ = true;
   }
   launches_.push_back(record);
+
+  if (metrics::enabled()) {
+    LaunchSeries& series = launch_series();
+    series.launches.add(1);
+    series.dpu_cycles.add(record.sum_dpu_cycles);
+    series.active_dpus.add(static_cast<std::uint64_t>(agg.active_dpus));
+  }
 
   if (trace::enabled()) {
     name_rank_lanes(rank);
@@ -148,6 +185,11 @@ void StatsCollector::on_broadcast(double seconds, std::uint64_t bytes,
   ++broadcasts_;
   broadcast_bytes_ += bytes;
   broadcast_seconds_ += seconds;
+  if (metrics::enabled()) {
+    LaunchSeries& series = launch_series();
+    series.broadcasts.add(1);
+    series.broadcast_bytes.add(bytes);
+  }
   if (!trace::enabled()) return;
   for (int r = 0; r < nr_ranks; ++r) {
     name_rank_lanes(r);

@@ -4,14 +4,45 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace pimnw::upmem {
+
+namespace {
+
+// MRAM chunk lifecycle (DESIGN.md §17): how much simulated bank memory is
+// live across all banks and how well the per-bank free lists recycle. Charged
+// only at chunk-granular events (materialise/release), never per write.
+struct MramSeries {
+  metrics::Gauge& chunks_live;
+  metrics::Counter& chunks_allocated;
+  metrics::Counter& chunks_recycled;
+  metrics::Counter& chunks_released;
+};
+
+MramSeries& mram_series() {
+  auto& reg = metrics::MetricsRegistry::global();
+  static MramSeries series{
+      reg.gauge("pimnw_mram_chunks_live",
+                "Materialised 64 KiB MRAM chunks across all banks"),
+      reg.counter("pimnw_mram_chunks_allocated_total",
+                  "Chunks materialised from fresh host allocations"),
+      reg.counter("pimnw_mram_chunks_recycled_total",
+                  "Chunks materialised by recycling a bank's free list"),
+      reg.counter("pimnw_mram_chunks_released_total",
+                  "Chunks released back to a bank's free list"),
+  };
+  return series;
+}
+
+}  // namespace
 
 std::uint8_t* Mram::chunk_for_write(std::uint64_t index) {
   if (index >= chunks_.size()) chunks_.resize(index + 1);
   std::unique_ptr<std::uint8_t[]>& chunk = chunks_[index];
   if (chunk == nullptr) {
-    if (!free_list_.empty()) {
+    const bool recycled = !free_list_.empty();
+    if (recycled) {
       // Recycle: the page is already faulted in (first-touch locality — see
       // the header comment). Must be re-zeroed: reads of released chunks
       // promise zeros, and the recycled buffer holds stale bytes.
@@ -22,16 +53,30 @@ std::uint8_t* Mram::chunk_for_write(std::uint64_t index) {
       chunk = std::make_unique<std::uint8_t[]>(kChunkBytes);  // zero-filled
     }
     ++materialised_;
+    if (metrics::enabled()) {
+      MramSeries& series = mram_series();
+      (recycled ? series.chunks_recycled : series.chunks_allocated).add(1);
+      series.chunks_live.add(1.0);
+    }
   }
   return chunk.get();
 }
 
 void Mram::clear() {
+  std::uint64_t released = 0;
   for (auto& chunk : chunks_) {
-    if (chunk != nullptr) free_list_.push_back(std::move(chunk));
+    if (chunk != nullptr) {
+      free_list_.push_back(std::move(chunk));
+      ++released;
+    }
   }
   chunks_.clear();
   materialised_ = 0;
+  if (released > 0 && metrics::enabled()) {
+    MramSeries& series = mram_series();
+    series.chunks_released.add(released);
+    series.chunks_live.add(-static_cast<double>(released));
+  }
 }
 
 void Mram::write(std::uint64_t addr, std::span<const std::uint8_t> bytes) {
@@ -86,6 +131,11 @@ std::uint64_t Mram::release_below(std::uint64_t offset) {
     }
   }
   materialised_ -= released;
+  if (released > 0 && metrics::enabled()) {
+    MramSeries& series = mram_series();
+    series.chunks_released.add(released);
+    series.chunks_live.add(-static_cast<double>(released));
+  }
   return released;
 }
 

@@ -22,13 +22,21 @@ class CheckError : public std::logic_error {
 
 namespace detail {
 
+/// Defined in util/flight_recorder.cpp: records the failure as a fault event
+/// in the global FlightRecorder and, when a black-box dump has been armed
+/// (FlightRecorder::arm_check_dump), writes the provenance-stamped dump before
+/// the CheckError propagates.
+void notify_check_fail(const std::string& description);
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
   std::ostringstream os;
   os << "PIMNW_CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  // Log before throwing: exceptions swallowed by a worker or rethrown at the
-  // commit barrier still leave one timestamped record of the original site.
+  // Record the fault (and dump the black box if armed) before logging or
+  // throwing: exceptions swallowed by a worker or rethrown at the commit
+  // barrier still leave one record of the original site.
+  notify_check_fail(os.str());
   PIMNW_ERROR(os.str());
   throw CheckError(os.str());
 }

@@ -1,8 +1,12 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <iostream>
 #include <mutex>
+
+#include "util/flight_recorder.hpp"
 
 namespace pimnw {
 namespace {
@@ -45,9 +49,53 @@ bool set_log_level_by_name(const std::string& name) {
   return true;
 }
 
+LogRateLimiter::LogRateLimiter(double rate_per_second, double burst)
+    : rate_per_second_(rate_per_second),
+      burst_(std::max(1.0, burst)),
+      tokens_(std::max(1.0, burst)) {}
+
+std::int64_t LogRateLimiter::admit(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!started_) {
+    started_ = true;
+    last_seconds_ = now_seconds;
+  }
+  const double elapsed = std::max(0.0, now_seconds - last_seconds_);
+  last_seconds_ = now_seconds;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_second_);
+  if (tokens_ < 1.0) {
+    ++suppressed_since_admit_;
+    ++total_suppressed_;
+    return -1;
+  }
+  tokens_ -= 1.0;
+  const std::int64_t suppressed =
+      static_cast<std::int64_t>(suppressed_since_admit_);
+  suppressed_since_admit_ = 0;
+  return suppressed;
+}
+
+std::int64_t LogRateLimiter::admit() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return admit(std::chrono::duration<double>(Clock::now() - start).count());
+}
+
+std::uint64_t LogRateLimiter::total_suppressed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_suppressed_;
+}
+
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
+  // Mirror WARN/ERROR into the flight recorder so post-mortem dumps carry the
+  // recent diagnostic context. Outside g_mutex: the recorder has its own lock
+  // and never logs, so there is no ordering or recursion hazard.
+  if (level >= LogLevel::kWarn) {
+    flight_record(FlightEventKind::kLog,
+                  std::string(level_tag(level)) + " " + msg);
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
   std::cerr << "[pimnw " << level_tag(level) << "] " << msg << "\n";
 }

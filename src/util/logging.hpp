@@ -1,7 +1,17 @@
 // Leveled stderr logger. Kept deliberately simple: benches print structured
 // tables on stdout; the logger is for progress and diagnostics only.
+//
+// WARN and ERROR lines are additionally mirrored into the global
+// FlightRecorder (util/flight_recorder.hpp) so a post-mortem black box
+// carries the recent diagnostic context.
+//
+// PIMNW_WARN_RATELIMITED guards per-item WARNs (e.g. one line per rejected
+// pair) behind a token bucket per call site, so a production-rate flood
+// degrades to a few lines per second plus a suppressed-count summary.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -16,6 +26,34 @@ LogLevel log_level();
 /// Set the threshold from a CLI-style name ("debug", "info", "warn",
 /// "error"). Returns false (level unchanged) for anything else.
 bool set_log_level_by_name(const std::string& name);
+
+/// Token bucket for one log call site: at most `burst` messages back to back,
+/// refilled at `rate_per_second`. Intended to live in a function-local static
+/// (see PIMNW_WARN_RATELIMITED), so one instance guards one source line.
+class LogRateLimiter {
+ public:
+  LogRateLimiter(double rate_per_second, double burst);
+
+  /// Deterministic core (seconds on any monotone clock): returns -1 if the
+  /// message must be suppressed, otherwise the number of messages suppressed
+  /// since the last admitted one (0 when nothing was dropped).
+  std::int64_t admit(double now_seconds);
+
+  /// admit() against the process-wide steady clock.
+  std::int64_t admit();
+
+  std::uint64_t total_suppressed() const;
+
+ private:
+  double rate_per_second_;
+  double burst_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  double last_seconds_ = 0.0;
+  bool started_ = false;
+  std::uint64_t suppressed_since_admit_ = 0;
+  std::uint64_t total_suppressed_ = 0;
+};
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
@@ -37,3 +75,20 @@ void log_emit(LogLevel level, const std::string& msg);
 #define PIMNW_INFO(msg) PIMNW_LOG(::pimnw::LogLevel::kInfo, msg)
 #define PIMNW_WARN(msg) PIMNW_LOG(::pimnw::LogLevel::kWarn, msg)
 #define PIMNW_ERROR(msg) PIMNW_LOG(::pimnw::LogLevel::kError, msg)
+
+// Rate-limited WARN: one token bucket per call site (function-local static).
+// When a message is admitted after suppressions, the count of dropped
+// messages since the last admitted one is appended, so the log still shows
+// the magnitude of the flood.
+#define PIMNW_WARN_RATELIMITED(rate_per_second, burst, msg)                  \
+  do {                                                                       \
+    static ::pimnw::LogRateLimiter pimnw_ratelimit_((rate_per_second),       \
+                                                    (burst));                \
+    const std::int64_t pimnw_suppressed_ = pimnw_ratelimit_.admit();         \
+    if (pimnw_suppressed_ == 0) {                                            \
+      PIMNW_WARN(msg);                                                       \
+    } else if (pimnw_suppressed_ > 0) {                                      \
+      PIMNW_WARN(msg << " [" << pimnw_suppressed_                            \
+                     << " similar messages suppressed]");                    \
+    }                                                                        \
+  } while (0)

@@ -8,9 +8,36 @@
 #include <string>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace pimnw {
+namespace {
+
+// Work-stealing activity (DESIGN.md §17). The counters double the pool's own
+// relaxed atomics into the scrapeable registry; one extra relaxed add per
+// task when telemetry is on, nothing when off.
+struct PoolSeries {
+  metrics::Counter& executed;
+  metrics::Counter& stolen;
+  metrics::Counter& injected;
+};
+
+PoolSeries& pool_series() {
+  auto& reg = metrics::MetricsRegistry::global();
+  static PoolSeries series{
+      reg.counter("pimnw_pool_tasks_executed_total",
+                  "Tasks executed by pool workers and helping callers"),
+      reg.counter("pimnw_pool_tasks_stolen_total",
+                  "Tasks acquired by stealing from another worker's deque"),
+      reg.counter("pimnw_pool_tasks_injected_total",
+                  "Tasks taken from the outside-submitter injector queue"),
+  };
+  return series;
+}
+
+}  // namespace
+
 namespace {
 
 // Which pool (if any) the current thread is a worker of, and its index in
@@ -149,6 +176,7 @@ ThreadPool::Task* ThreadPool::acquire(int index) {
     }
     if (task != nullptr) {
       stolen_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics::enabled()) pool_series().stolen.add(1);
     }
   }
   if (task == nullptr) {
@@ -157,11 +185,13 @@ ThreadPool::Task* ThreadPool::acquire(int index) {
       task = injector_.front();
       injector_.pop_front();
       injected_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics::enabled()) pool_series().injected.add(1);
     }
   }
   if (task != nullptr) {
     pending_.fetch_sub(1, std::memory_order_seq_cst);
     executed_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) pool_series().executed.add(1);
   }
   return task;
 }

@@ -1,0 +1,142 @@
+// Telemetry must be a pure observer (DESIGN.md §17): this file pins
+// bit-identity of everything the simulator models — scores, CIGARs, per-pair
+// DPU cycles and DMA bytes, the RunReport timeline — between runs with the
+// metrics registry enabled and disabled. It also pins the service-side
+// reservoir cap: bounded retained samples, exact sample accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/dispatch.hpp"
+#include "core/host.hpp"
+#include "core/service.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pimnw {
+namespace core {
+namespace {
+
+/// Restores the global telemetry switch on scope exit.
+struct EnabledGuard {
+  bool saved = metrics::enabled();
+  ~EnabledGuard() { metrics::set_enabled(saved); }
+};
+
+data::PairDataset make_dataset(std::size_t pairs, std::size_t length) {
+  data::SyntheticConfig config;
+  config.pair_count = pairs;
+  config.read_length = length;
+  config.errors.error_rate = 0.08;
+  config.seed = 77;
+  return data::generate_synthetic(config);
+}
+
+struct AlignRun {
+  RunReport report;
+  std::vector<PairOutput> outputs;
+};
+
+AlignRun run_aligner(const data::PairDataset& dataset) {
+  std::vector<PairInput> pairs;
+  pairs.reserve(dataset.pairs.size());
+  for (const auto& [a, b] : dataset.pairs) pairs.push_back({a, b});
+  PimAlignerConfig config;
+  config.nr_ranks = 1;
+  config.align.traceback = true;
+  PimAligner aligner(config);
+  AlignRun run;
+  run.report = aligner.align_pairs(pairs, &run.outputs);
+  return run;
+}
+
+TEST(TelemetryIdentity, MetricsOnOffBitIdentical) {
+  EnabledGuard guard;
+  const data::PairDataset dataset = make_dataset(48, 220);
+
+  metrics::set_enabled(true);
+  const AlignRun on = run_aligner(dataset);
+  metrics::set_enabled(false);
+  const AlignRun off = run_aligner(dataset);
+
+  // The modeled timeline and bus traffic are bit-identical.
+  EXPECT_EQ(on.report.makespan_seconds, off.report.makespan_seconds);
+  EXPECT_EQ(on.report.transfer_seconds, off.report.transfer_seconds);
+  EXPECT_EQ(on.report.batches, off.report.batches);
+  EXPECT_EQ(on.report.total_pairs, off.report.total_pairs);
+  EXPECT_EQ(on.report.bytes_to_dpus, off.report.bytes_to_dpus);
+  EXPECT_EQ(on.report.bytes_from_dpus, off.report.bytes_from_dpus);
+  EXPECT_EQ(on.report.total_dma_bytes, off.report.total_dma_bytes);
+
+  // Every per-pair result is bit-identical: score, CIGAR, modeled cycles,
+  // DPU-internal DMA.
+  ASSERT_EQ(on.outputs.size(), off.outputs.size());
+  for (std::size_t i = 0; i < on.outputs.size(); ++i) {
+    EXPECT_EQ(on.outputs[i].score, off.outputs[i].score) << "pair " << i;
+    EXPECT_EQ(on.outputs[i].ok, off.outputs[i].ok) << "pair " << i;
+    EXPECT_EQ(on.outputs[i].status, off.outputs[i].status) << "pair " << i;
+    EXPECT_EQ(on.outputs[i].cigar.to_string(), off.outputs[i].cigar.to_string())
+        << "pair " << i;
+    EXPECT_EQ(on.outputs[i].dpu_pool_cycles, off.outputs[i].dpu_pool_cycles)
+        << "pair " << i;
+    EXPECT_EQ(on.outputs[i].dpu_dma_bytes, off.outputs[i].dpu_dma_bytes)
+        << "pair " << i;
+  }
+}
+
+TEST(TelemetryIdentity, ServiceReservoirCapBoundsSamples) {
+  EnabledGuard guard;
+  metrics::set_enabled(true);
+  const data::PairDataset dataset = make_dataset(100, 120);
+  ThreadPool workers(2);
+  CpuBackend cpu(CpuBackend::Config{}, &workers);
+  DispatchConfig dispatch_config;
+  dispatch_config.single = BackendKind::kCpu;
+  Dispatcher dispatcher(dispatch_config, {&cpu});
+
+  ServiceConfig config;
+  config.latency_sample_cap = 16;
+  AlignService service(&dispatcher, config);
+  for (const auto& [a, b] : dataset.pairs) {
+    service.submit({a, b}).wait();
+  }
+  service.stop();
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 100u);
+  // Every request was offered to the reservoirs...
+  EXPECT_EQ(metrics.latency_samples_seen, 100u);
+  // ...but only the cap is retained, and the quantiles come from a full
+  // reservoir (count reports retained samples).
+  EXPECT_EQ(metrics.total_latency.count, 16u);
+  EXPECT_EQ(metrics.queue_wait.count, 16u);
+  EXPECT_GT(metrics.total_latency.p50_ms, 0.0);
+  EXPECT_LE(metrics.total_latency.p50_ms, metrics.total_latency.max_ms);
+}
+
+TEST(TelemetryIdentity, ServiceBelowCapKeepsExactQuantiles) {
+  EnabledGuard guard;
+  const data::PairDataset dataset = make_dataset(20, 120);
+  ThreadPool workers(2);
+  CpuBackend cpu(CpuBackend::Config{}, &workers);
+  DispatchConfig dispatch_config;
+  dispatch_config.single = BackendKind::kCpu;
+  Dispatcher dispatcher(dispatch_config, {&cpu});
+
+  AlignService service(&dispatcher);  // default cap 65536: nothing sampled out
+  for (const auto& [a, b] : dataset.pairs) {
+    service.submit({a, b}).wait();
+  }
+  service.stop();
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.completed, 20u);
+  EXPECT_EQ(metrics.latency_samples_seen, 20u);
+  EXPECT_EQ(metrics.total_latency.count, 20u);  // exact: every sample kept
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pimnw

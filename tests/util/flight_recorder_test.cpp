@@ -1,0 +1,126 @@
+// Tests for the fault flight recorder (util/flight_recorder.hpp) and the
+// rate-limited logging path (util/logging.hpp): bounded ring semantics,
+// provenance-stamped JSON dumps, the armed one-shot black box on an injected
+// PIMNW_CHECK failure, WARN mirroring, and the token-bucket limiter.
+#include "util/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace pimnw {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(FlightRecorder, RingIsBoundedAndChronological) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(FlightEventKind::kNote, "event " + std::to_string(i));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  const std::string dump = rec.dump_json("test");
+  // Only the newest four survive, in chronological order.
+  EXPECT_EQ(dump.find("event 5"), std::string::npos);
+  EXPECT_NE(dump.find("event 6"), std::string::npos);
+  EXPECT_NE(dump.find("event 9"), std::string::npos);
+  EXPECT_LT(dump.find("event 6"), dump.find("event 9"));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(FlightRecorder, DumpJsonShape) {
+  FlightRecorder rec(16);
+  rec.record(FlightEventKind::kFlush, "flush b0 kind=full pairs=64");
+  rec.record(FlightEventKind::kLog, "a \"quoted\"\nline");
+  const std::string dump = rec.dump_json("unit test");
+  EXPECT_NE(dump.find("\"provenance\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\": \"unit test\""), std::string::npos);
+  EXPECT_NE(dump.find("\"events\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"flush\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"log\""), std::string::npos);
+  // JSON string escaping of quotes and newlines: the raw form must not
+  // appear, the escaped one must.
+  EXPECT_NE(dump.find("a \\\"quoted\\\"\\nline"), std::string::npos);
+  EXPECT_EQ(dump.find("a \"quoted\""), std::string::npos);
+}
+
+TEST(FlightRecorder, ArmedCheckDumpIsOneShot) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.clear();
+  const std::string path = ::testing::TempDir() + "blackbox.json";
+  std::remove(path.c_str());
+  rec.arm_check_dump(path);
+  EXPECT_TRUE(rec.check_dump_armed());
+
+  // The injected fault: the CheckError still propagates, but the black box
+  // is written first.
+  EXPECT_THROW(PIMNW_CHECK_MSG(1 == 2, "injected fault for the recorder"),
+               CheckError);
+  EXPECT_FALSE(rec.check_dump_armed());  // disarmed after the first dump
+  const std::string dump = read_file(path);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"provenance\":"), std::string::npos);
+  EXPECT_NE(dump.find("check_failure"), std::string::npos);
+  EXPECT_NE(dump.find("injected fault for the recorder"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"fault\""), std::string::npos);
+
+  // A second failure must not rewrite the file (one dump per arm).
+  std::remove(path.c_str());
+  EXPECT_THROW(PIMNW_CHECK(false), CheckError);
+  EXPECT_TRUE(read_file(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, WarnLinesAreMirrored) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.clear();
+  PIMNW_INFO("info lines are not mirrored");
+  PIMNW_WARN("recorded warn line");
+  const std::string dump = rec.dump_json("mirror test");
+  EXPECT_NE(dump.find("recorded warn line"), std::string::npos);
+  EXPECT_EQ(dump.find("info lines are not mirrored"), std::string::npos);
+  rec.clear();
+}
+
+TEST(LogRateLimiter, TokenBucket) {
+  LogRateLimiter limiter(/*rate_per_second=*/1.0, /*burst=*/2.0);
+  EXPECT_EQ(limiter.admit(0.0), 0);   // burst token 1
+  EXPECT_EQ(limiter.admit(0.0), 0);   // burst token 2
+  EXPECT_EQ(limiter.admit(0.0), -1);  // bucket empty -> suppressed
+  EXPECT_EQ(limiter.admit(0.5), -1);  // half a token refilled, still short
+  EXPECT_EQ(limiter.admit(1.0), 2);   // refilled; reports the 2 drops
+  EXPECT_EQ(limiter.admit(1.0), -1);
+  EXPECT_EQ(limiter.total_suppressed(), 3u);
+  // Refill is capped at the burst: a long quiet gap buys at most 2 tokens.
+  EXPECT_EQ(limiter.admit(100.0), 1);
+  EXPECT_EQ(limiter.admit(100.0), 0);
+  EXPECT_EQ(limiter.admit(100.0), -1);
+}
+
+TEST(LogRateLimiter, MacroSuppressesFloods) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.clear();
+  // 200 back-to-back WARNs through a tiny bucket: the recorder (which sees
+  // exactly the admitted lines) must stay far below the flood size.
+  for (int i = 0; i < 200; ++i) {
+    PIMNW_WARN_RATELIMITED(1.0, 3.0, "flooded warn " << i);
+  }
+  EXPECT_LE(rec.size(), 8u);
+  EXPECT_GE(rec.size(), 1u);
+  rec.clear();
+}
+
+}  // namespace
+}  // namespace pimnw
